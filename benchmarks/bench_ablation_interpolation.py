@@ -1,0 +1,37 @@
+"""Ablation: interpolation scheme (paper §6 future work).
+
+Linear (the paper) vs polynomial vs spline RSSI interpolation: accuracy
+via the sweep, per-call cost via parametrized benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import VirtualGrid
+from repro.core.interpolation import make_interpolator
+from repro.experiments.sweeps import format_sweep, sweep_interpolation
+
+from .conftest import emit
+
+_printed = False
+
+
+def _print_once():
+    global _printed
+    if not _printed:
+        result = sweep_interpolation(n_trials=8)
+        emit("Ablation — interpolation scheme (Env3)", format_sweep(result))
+        _printed = True
+
+
+@pytest.mark.parametrize("kind", ["linear", "polynomial", "spline"])
+def bench_interpolation_kind(benchmark, grid, kind):
+    _print_once()
+    vgrid = VirtualGrid.for_target_count(grid, 900)
+    lattice = np.random.default_rng(0).uniform(-90, -50, (4, 4))
+    interpolator = make_interpolator(kind)
+
+    out = benchmark(interpolator.interpolate, lattice, vgrid)
+    assert out.shape == vgrid.shape

@@ -1,0 +1,67 @@
+"""Ablation: reader placement (paper §6 future work).
+
+Compares canonical layouts (4 corners, 4 edge midpoints, colinear) and
+runs the greedy placement search over an 8-candidate ring, printing the
+selected sites. Benchmarks one placement evaluation (the optimizer's
+inner loop).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import corner_reader_positions
+from repro.experiments.placement import (
+    candidate_reader_positions,
+    evaluate_placement,
+    greedy_reader_placement,
+)
+from repro.rf import env3
+from repro.utils.ascii import format_table
+
+from .conftest import emit
+
+
+def bench_reader_placement(benchmark, grid):
+    env = env3()
+    corners = corner_reader_positions(grid)
+    xmin, ymin, xmax, ymax = grid.bounds
+    mid_x, mid_y = (xmin + xmax) / 2, (ymin + ymax) / 2
+    layouts = {
+        "4 corners (paper)": corners,
+        "4 edge midpoints": np.array(
+            [
+                [mid_x, ymin - 1.0],
+                [mid_x, ymax + 1.0],
+                [xmin - 1.0, mid_y],
+                [xmax + 1.0, mid_y],
+            ]
+        ),
+        "colinear (bad)": np.array(
+            [[xmin - 1.0 + i * (xmax - xmin + 2.0) / 3.0, ymin - 1.0]
+             for i in range(4)]
+        ),
+    }
+    rows = [
+        [name, evaluate_placement(env, grid, layout, n_trials=3)]
+        for name, layout in layouts.items()
+    ]
+
+    candidates = candidate_reader_positions(grid)
+    greedy = greedy_reader_placement(env, grid, candidates, n_readers=4,
+                                     n_trials=2)
+    rows.append(["greedy (8 candidates)", greedy.error_trace[-1]])
+    emit(
+        "Ablation — reader placement (Env3)",
+        format_table(["layout", "mean error (m)"], rows)
+        + "\n\ngreedy selection order: "
+        + ", ".join(
+            f"({x:.1f},{y:.1f})" for x, y in greedy.selected_positions
+        ),
+    )
+
+    out = benchmark(
+        evaluate_placement, env, grid, corners, n_trials=1,
+        validation_per_axis=3,
+    )
+    assert out > 0

@@ -1,0 +1,85 @@
+"""Analysis: estimators vs the Cramér–Rao bound.
+
+For each environment, compares the measured RMS error of LANDMARC and
+VIRE on interior probe points against the information-theoretic floor of
+the deterministic channel at the environment's effective noise level.
+The gap above the bound is the price of the frozen-world distortions
+(shadowing, offsets, multipath) that the bound does not model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    LandmarcEstimator,
+    VIREConfig,
+    VIREEstimator,
+    corner_reader_positions,
+)
+from repro.analysis.crlb import average_crlb
+from repro.experiments.measurement import TrialSampler
+from repro.rf import env1, env2, env3
+from repro.utils.ascii import format_table
+
+from .conftest import emit
+
+PROBES = [(1.3, 1.7), (2.1, 1.2), (1.0, 2.2), (1.8, 1.9)]
+
+
+def bench_estimators_vs_crlb(benchmark, grid):
+    readers = corner_reader_positions(grid)
+    rows = []
+    for factory in (env1, env2, env3):
+        env = factory()
+        landmarc, vire = LandmarcEstimator(), VIREEstimator(
+            grid, VIREConfig(target_total_tags=900)
+        )
+        errs_lm, errs_vi = [], []
+        for seed in range(8):
+            sampler = TrialSampler(env, grid, seed=seed)
+            for pos in PROBES:
+                reading = sampler.reading_for(pos)
+                errs_lm.append(landmarc.estimate(reading).error_to(pos))
+                errs_vi.append(vire.estimate(reading).error_to(pos))
+        # Effective per-reader sigma, measured from the channel itself:
+        # std of the n_reads-averaged reading at a fixed point in a fixed
+        # frozen world (pure measurement scatter, no field distortion).
+        channel = env.build_channel(readers, seed=0)
+        rng = np.random.default_rng(0)
+        repeated = np.array(
+            [
+                channel.sample_rssi(
+                    0, np.array([[1.5, 1.5]]), rng, n_reads=10
+                ).mean()
+                for _ in range(200)
+            ]
+        )
+        sigma_eff = float(repeated.std())
+        bound = average_crlb(
+            grid, readers, gamma=env.path_loss.gamma, sigma_db=sigma_eff
+        )
+        rows.append(
+            [
+                env.name,
+                bound,
+                float(np.sqrt(np.mean(np.square(errs_vi)))),
+                float(np.sqrt(np.mean(np.square(errs_lm)))),
+            ]
+        )
+    emit(
+        "Analysis — RMS error vs Cramér–Rao bound (interior probes)",
+        format_table(
+            ["env", "CRLB (m)", "VIRE RMS (m)", "LANDMARC RMS (m)"], rows
+        ),
+    )
+    for _, bound, vire_rms, lm_rms in rows:
+        # Nobody beats the measurement-noise floor; the gap above it is
+        # the frozen-field distortion the bound does not model.
+        assert vire_rms >= bound
+        assert vire_rms <= lm_rms * 1.05
+
+    out = benchmark(
+        average_crlb, grid, readers, gamma=2.8, sigma_db=1.5, resolution=9
+    )
+    assert out > 0

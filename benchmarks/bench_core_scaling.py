@@ -1,0 +1,51 @@
+"""Performance scaling of the VIRE pipeline with virtual-tag density.
+
+Not a paper figure: quantifies the O(K * N²) per-estimate cost claim in
+the estimator docs across the Fig. 7 density axis, plus the full
+event-driven testbed step cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    VIREConfig,
+    VIREEstimator,
+    build_paper_deployment,
+)
+from repro.rf import env3
+
+
+@pytest.mark.parametrize("total_tags", [100, 400, 900, 2500])
+def bench_vire_estimate_scaling(benchmark, grid, env3_reading, total_tags):
+    estimator = VIREEstimator(grid, VIREConfig(target_total_tags=total_tags))
+    out = benchmark(estimator.estimate, env3_reading)
+    assert out.diagnostics["total_virtual_tags"] >= total_tags
+
+
+def bench_testbed_simulation_second(benchmark):
+    """Cost of simulating one second of the full 20-tag testbed."""
+    deployment = build_paper_deployment(
+        env3(),
+        tracking_tags={"asset": (1.5, 1.5)},
+        seed=0,
+    )
+    deployment.simulator.run_for(5.0)  # warm structures
+
+    benchmark(deployment.simulator.run_for, 1.0)
+
+
+def bench_channel_matrix(benchmark, env3_sampler):
+    """Cost of one full (4 readers x 17 tags x 10 reads) RSSI matrix."""
+    import numpy as np
+
+    positions = np.vstack(
+        [env3_sampler.reference_positions, [[1.5, 1.5]]]
+    )
+    rng = np.random.default_rng(0)
+
+    out = benchmark(
+        env3_sampler.channel.sample_rssi_matrix, positions, rng, n_reads=10
+    )
+    assert out.shape == (4, 17)

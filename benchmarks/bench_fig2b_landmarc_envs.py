@@ -1,0 +1,19 @@
+"""Fig. 2(b): LANDMARC estimation error for 9 tags in Env1/Env2/Env3.
+
+Regenerates the paper's motivation figure and benchmarks one LANDMARC
+estimate (its per-query cost is the figure's computational unit).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig2b, format_fig2b
+
+from .conftest import emit
+
+
+def bench_fig2b_landmarc_environments(benchmark, landmarc, env3_reading):
+    result = fig2b(n_trials=10, base_seed=0)
+    emit("Fig. 2(b) — LANDMARC across environments", format_fig2b(result))
+
+    out = benchmark(landmarc.estimate, env3_reading)
+    assert out.position is not None

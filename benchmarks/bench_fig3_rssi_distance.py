@@ -1,0 +1,22 @@
+"""Fig. 3: RSSI vs distance — measured (20 reads) vs theoretical.
+
+Regenerates the curve and benchmarks the channel sampling sweep that
+produces it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import fig3, format_fig3
+
+from .conftest import emit
+
+
+def bench_fig3_rssi_vs_distance(benchmark, env3_sampler):
+    result = fig3(n_reads=20, seed=0)
+    emit("Fig. 3 — RSSI vs distance", format_fig3(result))
+
+    distances = np.arange(1.0, 20.5, 1.0)
+    out = benchmark(env3_sampler.rssi_vs_distance, distances, n_reads=20)
+    assert out.shape == (20, 20)

@@ -1,0 +1,27 @@
+"""Fig. 4: RF interference of densely packed tags.
+
+Regenerates the independent-vs-interference comparison and benchmarks
+the interference model's corruption pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import fig4, format_fig4
+from repro.rf import TagInterferenceModel
+
+from .conftest import emit
+
+
+def bench_fig4_tag_interference(benchmark):
+    result = fig4(n_tags=20, seed=0)
+    emit("Fig. 4 — tag-density interference", format_fig4(result))
+
+    model = TagInterferenceModel()
+    rng = np.random.default_rng(0)
+    positions = rng.uniform(-0.05, 0.05, (20, 2))
+    clean = np.full(20, -75.0)
+
+    out = benchmark(model.corrupt, clean, positions, rng)
+    assert out.shape == (20,)

@@ -1,0 +1,26 @@
+"""Fig. 6(a-c): VIRE vs LANDMARC per tag in all three environments.
+
+The headline reproduction: regenerates the full comparison and
+benchmarks one VIRE estimate (the per-query cost of the proposed
+method at the paper's N² ~ 900 operating point).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig6, format_fig6
+
+from .conftest import emit
+
+
+def bench_fig6_vire_vs_landmarc(benchmark, vire, env3_reading):
+    result = fig6(n_trials=15, base_seed=0)
+    emit("Fig. 6 — VIRE vs LANDMARC (all environments)", format_fig6(result))
+
+    # Shape assertions: VIRE must win on average in every environment.
+    for env_name in ("Env1", "Env2", "Env3"):
+        lm = sum(result.landmarc[env_name].values())
+        vi = sum(result.vire[env_name].values())
+        assert vi < lm, env_name
+
+    out = benchmark(vire.estimate, env3_reading)
+    assert out.diagnostics["total_virtual_tags"] == 961

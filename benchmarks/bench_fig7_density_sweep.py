@@ -1,0 +1,36 @@
+"""Fig. 7: accuracy vs the number of virtual reference tags (Env3).
+
+Regenerates the density sweep and benchmarks the interpolation kernel
+at the paper's densest setting (the cost that actually scales with N²).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import VirtualGrid
+from repro.core.interpolation import BilinearInterpolator
+from repro.experiments.figures import fig7, format_fig7
+
+from .conftest import emit
+
+
+def bench_fig7_virtual_tag_density(benchmark, grid):
+    result = fig7(
+        total_tag_targets=(16, 100, 300, 600, 900, 1200, 1500),
+        n_trials=8,
+        base_seed=0,
+    )
+    emit("Fig. 7 — virtual tag density vs accuracy", format_fig7(result))
+
+    # Shape assertion: sharp improvement from the real grid, then plateau.
+    assert result.mean_error[0] > result.mean_error[-1]
+    tail = result.mean_error[-3:]
+    assert tail.max() - tail.min() < 0.15
+
+    vgrid = VirtualGrid.for_target_count(grid, 1500)
+    lattice = np.random.default_rng(0).uniform(-90, -50, (4, 4))
+    interpolator = BilinearInterpolator()
+
+    out = benchmark(interpolator.interpolate, lattice, vgrid)
+    assert out.shape == vgrid.shape

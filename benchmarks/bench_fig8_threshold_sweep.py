@@ -1,0 +1,35 @@
+"""Fig. 8: accuracy vs the elimination threshold (Env3, N² = 900).
+
+Regenerates the U-shaped threshold curve and benchmarks a
+fixed-threshold VIRE estimate.
+"""
+
+from __future__ import annotations
+
+from repro import VIREConfig, VIREEstimator
+from repro.experiments.figures import fig8, format_fig8
+
+from .conftest import emit
+
+
+def bench_fig8_threshold(benchmark, grid, env3_reading):
+    result = fig8(n_trials=8, base_seed=0)
+    emit("Fig. 8 — threshold vs accuracy", format_fig8(result))
+
+    # Shape assertion: U-curve (both extremes worse than the interior
+    # minimum).
+    errors = result.mean_error
+    assert errors.min() < errors[0]
+    assert errors.min() < errors[-1]
+
+    estimator = VIREEstimator(
+        grid,
+        VIREConfig(
+            target_total_tags=900,
+            threshold_mode="fixed",
+            fixed_threshold_db=2.5,
+            empty_fallback="landmarc",
+        ),
+    )
+    out = benchmark(estimator.estimate, env3_reading)
+    assert out.position is not None

@@ -1,0 +1,55 @@
+"""Shared benchmark fixtures.
+
+Each ``bench_figN_*`` module regenerates the corresponding paper figure
+(at a modest trial count), prints the table/chart so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+shows the reproduced figure next to the timing, and benchmarks the
+figure's core computational unit (one estimate / one channel sweep).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    LandmarcEstimator,
+    VIREConfig,
+    VIREEstimator,
+    paper_testbed_grid,
+)
+from repro.experiments.measurement import TrialSampler
+from repro.rf import env3
+
+
+def emit(title: str, body: str) -> None:
+    """Print a figure reproduction block (visible with -s / -rA)."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+
+@pytest.fixture(scope="session")
+def grid():
+    return paper_testbed_grid()
+
+
+@pytest.fixture(scope="session")
+def env3_sampler(grid):
+    """One frozen Env3 world shared by the per-estimate benchmarks."""
+    return TrialSampler(env3(), grid, seed=0)
+
+
+@pytest.fixture(scope="session")
+def env3_reading(env3_sampler):
+    return env3_sampler.reading_for((1.45, 1.55))
+
+
+@pytest.fixture(scope="session")
+def landmarc():
+    return LandmarcEstimator()
+
+
+@pytest.fixture(scope="session")
+def vire(grid):
+    return VIREEstimator(grid, VIREConfig(target_total_tags=900))

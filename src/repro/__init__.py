@@ -1,0 +1,145 @@
+"""repro — a reproduction of "VIRE: Active RFID-based Localization Using
+Virtual Reference Elimination" (Zhao, Liu, Ni — ICPP 2007).
+
+The package implements the VIRE algorithm, the LANDMARC baseline, and a
+complete synthetic substitute for the paper's RF Code testbed: a
+physically-motivated RF channel (path loss, correlated shadowing,
+image-method multipath, fading, tag interference) and an event-driven
+tag/reader/middleware simulation.
+
+Quickstart
+----------
+>>> from repro import (paper_scenario, run_scenario,
+...                    LandmarcEstimator, VIREEstimator, VIREConfig)
+>>> scenario = paper_scenario("Env3", n_trials=5)
+>>> vire = VIREEstimator(scenario.grid, VIREConfig(target_total_tags=900))
+>>> result = run_scenario(scenario, [LandmarcEstimator(), vire])
+>>> result.by_name("VIRE").summary().mean < result.by_name("LANDMARC").summary().mean
+True
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory, and EXPERIMENTS.md for paper-vs-measured numbers.
+"""
+
+from .types import TrackingReading, EstimateResult, Estimator, estimation_error
+from .exceptions import (
+    ReproError,
+    ConfigurationError,
+    GeometryError,
+    ChannelError,
+    ReadingError,
+    EstimationError,
+    SimulationError,
+)
+from .geometry import (
+    ReferenceGrid,
+    Room,
+    Wall,
+    rectangular_room,
+    paper_testbed_grid,
+    corner_reader_positions,
+    figure2a_tracking_tags,
+    NON_BOUNDARY_TAGS,
+    BOUNDARY_TAGS,
+)
+from .rf import (
+    RFChannel,
+    EnvironmentSpec,
+    env1,
+    env2,
+    env3,
+    environment_by_name,
+    LogDistancePathLoss,
+    ShadowingSpec,
+    MultipathSpec,
+    RicianFading,
+    TagInterferenceModel,
+    HumanMovementDisturbance,
+    PowerLevelQuantizer,
+)
+from .hardware import (
+    TestbedSimulator,
+    Deployment,
+    build_paper_deployment,
+    ActiveTag,
+    Reader,
+    MiddlewareServer,
+    SmoothingSpec,
+    TagSpec,
+    NEW_EQUIPMENT,
+    ORIGINAL_EQUIPMENT,
+)
+from .baselines import (
+    FingerprintEstimator,
+    LandmarcEstimator,
+    WeightedKnnEstimator,
+    NearestReferenceEstimator,
+    WeightedCentroidEstimator,
+    TriangulationLandmarcEstimator,
+)
+from .core import (
+    VIREEstimator,
+    SoftVIREEstimator,
+    VIREConfig,
+    VirtualGrid,
+    BoundaryAwareEstimator,
+    IrregularVirtualGrid,
+    IrregularVIREEstimator,
+)
+from .tracking import (
+    Trajectory,
+    TagTracker,
+    KalmanFilter2D,
+    AlphaBetaFilter,
+    MovingAverageFilter,
+    NoFilter,
+    evaluate_track,
+)
+from . import analysis
+from .experiments import (
+    TestbedScenario,
+    paper_scenario,
+    run_scenario,
+    TrialSampler,
+    MeasurementSpec,
+    figures,
+    sweeps,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # types
+    "TrackingReading", "EstimateResult", "Estimator", "estimation_error",
+    # exceptions
+    "ReproError", "ConfigurationError", "GeometryError", "ChannelError",
+    "ReadingError", "EstimationError", "SimulationError",
+    # geometry
+    "ReferenceGrid", "Room", "Wall", "rectangular_room",
+    "paper_testbed_grid", "corner_reader_positions", "figure2a_tracking_tags",
+    "NON_BOUNDARY_TAGS", "BOUNDARY_TAGS",
+    # rf
+    "RFChannel", "EnvironmentSpec", "env1", "env2", "env3",
+    "environment_by_name", "LogDistancePathLoss", "ShadowingSpec",
+    "MultipathSpec", "RicianFading", "TagInterferenceModel",
+    "HumanMovementDisturbance", "PowerLevelQuantizer",
+    # hardware
+    "TestbedSimulator", "Deployment", "build_paper_deployment", "ActiveTag",
+    "Reader", "MiddlewareServer", "SmoothingSpec", "TagSpec",
+    "NEW_EQUIPMENT", "ORIGINAL_EQUIPMENT",
+    # baselines
+    "LandmarcEstimator", "WeightedKnnEstimator", "NearestReferenceEstimator",
+    "WeightedCentroidEstimator", "TriangulationLandmarcEstimator",
+    "FingerprintEstimator",
+    # core (VIRE)
+    "VIREEstimator", "SoftVIREEstimator", "VIREConfig", "VirtualGrid",
+    "BoundaryAwareEstimator",
+    "IrregularVirtualGrid", "IrregularVIREEstimator",
+    # tracking (mobility)
+    "Trajectory", "TagTracker", "KalmanFilter2D", "AlphaBetaFilter",
+    "MovingAverageFilter", "NoFilter", "evaluate_track",
+    # experiments
+    "TestbedScenario", "paper_scenario", "run_scenario", "TrialSampler",
+    "MeasurementSpec", "figures", "sweeps", "analysis",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Statistical analysis of localization results.
+
+Beyond the per-tag means the paper plots, a reproduction should state
+*confidence*: :mod:`~repro.analysis.significance` provides a paired
+bootstrap test over the runner's paired trials, and
+:mod:`~repro.analysis.cdf` the error-CDF comparisons standard in the
+localization literature. :mod:`~repro.analysis.report` assembles a full
+reproduction report.
+"""
+
+from .cdf import cdf_comparison, format_cdf_comparison
+from .heatmap import ErrorMap, spatial_error_map, format_heatmap
+from .crlb import crlb_point, crlb_map, average_crlb
+from .significance import PairedComparison, paired_bootstrap
+from .report import reproduction_report
+
+__all__ = [
+    "cdf_comparison",
+    "ErrorMap",
+    "spatial_error_map",
+    "format_heatmap",
+    "crlb_point",
+    "crlb_map",
+    "average_crlb",
+    "format_cdf_comparison",
+    "PairedComparison",
+    "paired_bootstrap",
+    "reproduction_report",
+]

@@ -1,0 +1,46 @@
+"""Error-CDF comparison between estimators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..experiments.runner import ScenarioResult
+from ..utils.ascii import format_table
+
+__all__ = ["cdf_comparison", "format_cdf_comparison"]
+
+
+def cdf_comparison(
+    result: ScenarioResult,
+    *,
+    levels_m: tuple[float, ...] = (0.25, 0.5, 0.75, 1.0, 1.5, 2.0),
+) -> dict[str, dict[float, float]]:
+    """Fraction of estimates within each error level, per estimator.
+
+    Returns ``{estimator: {level: fraction}}`` — the "percentile within
+    X metres" numbers localization papers usually quote.
+    """
+    if not levels_m or any(l <= 0 for l in levels_m):
+        raise ConfigurationError("levels must be positive")
+    out: dict[str, dict[float, float]] = {}
+    for est in result.estimators:
+        sample = est.all_errors()
+        out[est.estimator_name] = {
+            float(level): float(np.mean(sample <= level)) for level in levels_m
+        }
+    return out
+
+
+def format_cdf_comparison(comparison: dict[str, dict[float, float]]) -> str:
+    """Render the CDF comparison as a table (rows = levels)."""
+    names = list(comparison)
+    if not names:
+        return "(no estimators)"
+    levels = sorted(next(iter(comparison.values())))
+    rows = [
+        [f"<= {level:.2f} m", *[f"{comparison[n][level]:.0%}" for n in names]]
+        for level in levels
+    ]
+    return format_table(["error level", *names], rows,
+                        title="fraction of estimates within error level")

@@ -1,0 +1,128 @@
+"""Cramér–Rao lower bound for RSSI localization in this channel.
+
+How much of VIRE's residual error is algorithmic slack, and how much is
+information-theoretic? For the log-distance measurement model
+
+``S_k = S0 − 10·γ·log10(d_k) + noise,  noise ~ N(0, σ²)``
+
+the Fisher information about the position x is
+
+``F(x) = (1/σ²) Σ_k g_k(x) g_k(x)ᵀ``,
+``g_k(x) = −(10·γ / ln 10) · (x − r_k) / d_k²``
+
+(the gradient of the k-th reader's mean RSSI w.r.t. position), and the
+RMS error of any unbiased estimator is bounded by
+
+``e(x) ≥ sqrt( trace(F⁻¹(x)) )``.
+
+The bound uses only the deterministic part of the channel; frozen-world
+distortions (shadowing, offsets) act as extra noise, so the practical
+gap between VIRE and this bound brackets the cost of the un-modelled
+field. :func:`crlb_map` evaluates the bound over the sensing area,
+mirroring :func:`~repro.analysis.heatmap.spatial_error_map`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..geometry.grid import ReferenceGrid
+from ..utils.validation import ensure_positive
+
+__all__ = ["crlb_point", "crlb_map", "average_crlb"]
+
+_LN10 = float(np.log(10.0))
+
+
+def crlb_point(
+    position: np.ndarray | tuple[float, float],
+    reader_positions: np.ndarray,
+    *,
+    gamma: float,
+    sigma_db: float,
+) -> float:
+    """RMS-error lower bound (m) at one position.
+
+    Parameters
+    ----------
+    position:
+        Query coordinate.
+    reader_positions:
+        ``(K, 2)`` reader coordinates; K >= 2 required (one reader's
+        range constrains only a circle — F is singular).
+    gamma:
+        Path-loss exponent of the channel.
+    sigma_db:
+        Effective per-reader RSSI uncertainty (reading noise after
+        averaging + residual field mismatch).
+    """
+    ensure_positive(gamma, "gamma")
+    ensure_positive(sigma_db, "sigma_db")
+    readers = np.asarray(reader_positions, dtype=np.float64)
+    if readers.ndim != 2 or readers.shape[1] != 2 or readers.shape[0] < 2:
+        raise ConfigurationError(
+            f"need >= 2 readers with shape (K, 2), got {readers.shape}"
+        )
+    x = np.asarray(position, dtype=np.float64)
+    diff = x[np.newaxis, :] - readers          # (K, 2)
+    d2 = np.maximum(np.einsum("ij,ij->i", diff, diff), 1e-6)
+    scale = 10.0 * gamma / _LN10
+    grads = -scale * diff / d2[:, np.newaxis]  # (K, 2) dB per metre
+    fisher = (grads.T @ grads) / sigma_db**2
+    try:
+        cov = np.linalg.inv(fisher)
+    except np.linalg.LinAlgError as exc:
+        raise ConfigurationError(
+            "Fisher information singular (readers colinear with the query?)"
+        ) from exc
+    trace = float(np.trace(cov))
+    if trace < 0:
+        raise ConfigurationError("numerically invalid Fisher inverse")
+    return float(np.sqrt(trace))
+
+
+def crlb_map(
+    grid: ReferenceGrid,
+    reader_positions: np.ndarray,
+    *,
+    gamma: float,
+    sigma_db: float,
+    resolution: int = 9,
+    pad_m: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Bound over a lattice covering the sensing area.
+
+    Returns ``(xs, ys, bound)`` with ``bound`` shaped ``(len(ys), len(xs))``
+    — directly comparable to
+    :class:`~repro.analysis.heatmap.ErrorMap.mean_error`.
+    """
+    if resolution < 2:
+        raise ConfigurationError(f"resolution must be >= 2, got {resolution}")
+    xmin, ymin, xmax, ymax = grid.bounds
+    xs = np.linspace(xmin - pad_m, xmax + pad_m, resolution)
+    ys = np.linspace(ymin - pad_m, ymax + pad_m, resolution)
+    bound = np.empty((resolution, resolution))
+    for r, y in enumerate(ys):
+        for c, x in enumerate(xs):
+            bound[r, c] = crlb_point(
+                (float(x), float(y)), reader_positions,
+                gamma=gamma, sigma_db=sigma_db,
+            )
+    return xs, ys, bound
+
+
+def average_crlb(
+    grid: ReferenceGrid,
+    reader_positions: np.ndarray,
+    *,
+    gamma: float,
+    sigma_db: float,
+    resolution: int = 9,
+) -> float:
+    """Mean bound over the sensing area — one number per deployment."""
+    _, _, bound = crlb_map(
+        grid, reader_positions, gamma=gamma, sigma_db=sigma_db,
+        resolution=resolution,
+    )
+    return float(bound.mean())

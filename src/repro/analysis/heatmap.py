@@ -1,0 +1,117 @@
+"""Spatial error maps: where in the sensing area does an estimator fail?
+
+:func:`spatial_error_map` sweeps a probe tag over a lattice of positions
+and records the mean estimation error at each — the spatial counterpart
+of the per-tag bars in Fig. 6, revealing the boundary ring and any
+multipath hot spots. :func:`format_heatmap` renders the result with a
+character ramp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..experiments.measurement import MeasurementSpec, TrialSampler
+from ..geometry.grid import ReferenceGrid
+from ..rf.environments import EnvironmentSpec
+from ..types import Estimator
+
+__all__ = ["ErrorMap", "spatial_error_map", "format_heatmap"]
+
+#: Character ramp from good (low error) to bad (high error).
+_RAMP = " .:-=+*#%@"
+
+
+@dataclass(frozen=True)
+class ErrorMap:
+    """Mean error per probe position over the sensing area."""
+
+    xs: np.ndarray          # (n_cols,) probe x coordinates
+    ys: np.ndarray          # (n_rows,) probe y coordinates
+    mean_error: np.ndarray  # (n_rows, n_cols)
+    estimator_name: str
+    environment_name: str
+
+    @property
+    def worst(self) -> tuple[float, tuple[float, float]]:
+        """(error, position) of the worst probe point."""
+        idx = np.unravel_index(np.argmax(self.mean_error), self.mean_error.shape)
+        return (
+            float(self.mean_error[idx]),
+            (float(self.xs[idx[1]]), float(self.ys[idx[0]])),
+        )
+
+
+def spatial_error_map(
+    environment: EnvironmentSpec,
+    grid: ReferenceGrid,
+    estimator: Estimator,
+    *,
+    resolution: int = 9,
+    n_trials: int = 5,
+    n_reads: int = 8,
+    base_seed: int = 0,
+    pad_m: float = 0.0,
+) -> ErrorMap:
+    """Probe the estimator over a ``resolution x resolution`` lattice.
+
+    ``pad_m`` extends the probed area beyond the grid bounds (to expose
+    boundary behaviour like Tag 9's).
+    """
+    if resolution < 2:
+        raise ConfigurationError(f"resolution must be >= 2, got {resolution}")
+    xmin, ymin, xmax, ymax = grid.bounds
+    xs = np.linspace(xmin - pad_m, xmax + pad_m, resolution)
+    ys = np.linspace(ymin - pad_m, ymax + pad_m, resolution)
+    errors = np.zeros((resolution, resolution))
+    for trial in range(n_trials):
+        sampler = TrialSampler(
+            environment,
+            grid,
+            seed=base_seed + trial,
+            measurement=MeasurementSpec(n_reads=n_reads),
+        )
+        for r, y in enumerate(ys):
+            for c, x in enumerate(xs):
+                reading = sampler.reading_for((float(x), float(y)))
+                errors[r, c] += estimator.estimate(reading).error_to((x, y))
+    errors /= n_trials
+    return ErrorMap(
+        xs=xs,
+        ys=ys,
+        mean_error=errors,
+        estimator_name=estimator.name,
+        environment_name=environment.name,
+    )
+
+
+def format_heatmap(
+    error_map: ErrorMap, *, vmax: float | None = None
+) -> str:
+    """Render the error map with a character ramp (dark = high error).
+
+    Row order follows the geometry: the top text row is the largest y.
+    """
+    data = error_map.mean_error
+    top = vmax if vmax is not None else float(data.max())
+    if top <= 0:
+        top = 1.0
+    lines = [
+        f"{error_map.estimator_name} mean error over "
+        f"{error_map.environment_name} (max {data.max():.2f} m, "
+        f"'{_RAMP[0]}'=0 .. '{_RAMP[-1]}'={top:.2f})"
+    ]
+    for r in range(data.shape[0] - 1, -1, -1):
+        cells = []
+        for c in range(data.shape[1]):
+            level = min(int(data[r, c] / top * (len(_RAMP) - 1)), len(_RAMP) - 1)
+            cells.append(_RAMP[level] * 2)
+        lines.append("|" + "".join(cells) + "|")
+    worst_err, worst_pos = error_map.worst
+    lines.append(
+        f"worst: {worst_err:.2f} m at ({worst_pos[0]:.1f}, {worst_pos[1]:.1f})"
+    )
+    return "\n".join(lines)

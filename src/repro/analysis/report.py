@@ -1,0 +1,78 @@
+"""Full reproduction report: run everything, print everything.
+
+:func:`reproduction_report` regenerates every figure of the paper plus
+the significance analysis and returns one big text block — the
+programmatic equivalent of EXPERIMENTS.md, used by the CLI's ``report``
+command.
+"""
+
+from __future__ import annotations
+
+from ..baselines.landmarc import LandmarcEstimator
+from ..core.config import VIREConfig
+from ..core.estimator import VIREEstimator
+from ..experiments import figures
+from ..experiments.runner import run_scenario
+from ..experiments.scenarios import paper_scenario
+from .cdf import cdf_comparison, format_cdf_comparison
+from .significance import paired_bootstrap
+
+__all__ = ["reproduction_report"]
+
+
+def reproduction_report(
+    *,
+    n_trials: int = 15,
+    base_seed: int = 0,
+    include_sweeps: bool = True,
+) -> str:
+    """Regenerate the paper's evaluation and return it as text.
+
+    ``n_trials`` trades runtime for statistical tightness; 15 keeps the
+    full report under a couple of minutes on a laptop.
+    """
+    blocks: list[str] = []
+
+    def add(title: str, body: str) -> None:
+        bar = "=" * 72
+        blocks.append(f"{bar}\n{title}\n{bar}\n{body}")
+
+    add(
+        "Fig. 2(b) — LANDMARC across environments",
+        figures.format_fig2b(figures.fig2b(n_trials=n_trials, base_seed=base_seed)),
+    )
+    add("Fig. 3 — RSSI vs distance", figures.format_fig3(figures.fig3()))
+    add("Fig. 4 — tag interference", figures.format_fig4(figures.fig4()))
+    add(
+        "Fig. 6 — VIRE vs LANDMARC",
+        figures.format_fig6(figures.fig6(n_trials=n_trials, base_seed=base_seed)),
+    )
+    if include_sweeps:
+        add(
+            "Fig. 7 — virtual tag density",
+            figures.format_fig7(
+                figures.fig7(n_trials=max(n_trials // 2, 3), base_seed=base_seed)
+            ),
+        )
+        add(
+            "Fig. 8 — threshold sweep",
+            figures.format_fig8(
+                figures.fig8(n_trials=max(n_trials // 2, 3), base_seed=base_seed)
+            ),
+        )
+
+    # Statistical wrap-up on Env3 (the paper's motivating case).
+    scenario = paper_scenario("Env3", n_trials=n_trials, base_seed=base_seed)
+    result = run_scenario(
+        scenario,
+        [
+            LandmarcEstimator(),
+            VIREEstimator(scenario.grid, VIREConfig(target_total_tags=900)),
+        ],
+    )
+    comparison = paired_bootstrap(result, "LANDMARC", "VIRE")
+    add(
+        "Statistical summary (Env3)",
+        format_cdf_comparison(cdf_comparison(result)) + "\n\n" + str(comparison),
+    )
+    return "\n\n".join(blocks)

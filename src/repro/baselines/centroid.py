@@ -1,0 +1,47 @@
+"""Softmax-weighted centroid over all reference tags.
+
+Instead of a hard top-k cut, every reference tag contributes with weight
+``exp(-E_j / tau)``. The temperature ``tau`` (in dB) controls how
+aggressively distant references are suppressed; ``tau -> 0`` approaches
+the nearest-reference estimator, large ``tau`` approaches the plain grid
+centroid. A useful comparison point for VIRE's soft elimination.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..types import EstimateResult, TrackingReading
+from .landmarc import rssi_space_distances
+
+__all__ = ["WeightedCentroidEstimator"]
+
+
+class WeightedCentroidEstimator:
+    """Centroid of all reference tags, softmax-weighted by RSSI distance."""
+
+    def __init__(self, tau_db: float = 2.0):
+        if tau_db <= 0:
+            raise ConfigurationError(f"tau_db must be positive, got {tau_db}")
+        self.tau_db = float(tau_db)
+        self.name = f"SoftCentroid(tau={tau_db:g}dB)"
+
+    def estimate(self, reading: TrackingReading) -> EstimateResult:
+        e = rssi_space_distances(reading)
+        # Shift by the minimum before exponentiating for numerical safety.
+        logits = -(e - e.min()) / self.tau_db
+        weights = np.exp(logits)
+        weights = weights / weights.sum()
+        xy = weights @ reading.reference_positions
+        return EstimateResult(
+            position=(float(xy[0]), float(xy[1])),
+            estimator=self.name,
+            diagnostics={
+                "effective_support": float(1.0 / np.sum(weights**2)),
+                "max_weight": float(weights.max()),
+            },
+        )
+
+    def __repr__(self) -> str:
+        return f"WeightedCentroidEstimator(tau_db={self.tau_db})"

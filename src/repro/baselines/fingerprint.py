@@ -1,0 +1,116 @@
+"""Offline RSSI fingerprinting (RADAR-style, the paper's reference [4]).
+
+RADAR (Bahl & Padmanabhan, INFOCOM 2000) localizes by matching the
+online RSSI vector against a *radio map* collected in an offline
+calibration phase. It is the classical alternative to LANDMARC/VIRE's
+reference-tag approach, with an instructive trade-off:
+
+* Fingerprinting captures the *true* field at every calibration point —
+  no interpolation error — but the map goes stale the moment the
+  environment changes, and the survey is expensive.
+* LANDMARC/VIRE calibrate *continuously* through the live reference
+  tags, at the price of sparse spatial sampling.
+
+:class:`FingerprintEstimator` implements the offline approach against
+our synthetic channel: :meth:`calibrate` surveys a lattice of positions
+through a (separate) calibration sampler, and :meth:`estimate` does
+weighted-kNN matching in fingerprint space. Comparing it against VIRE
+under environment drift (a different frozen world at test time) is the
+ablation that shows *why* the live-reference approach wins in dynamic
+rooms — exactly the argument of the LANDMARC paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import EstimationError, ReadingError
+from ..geometry.grid import ReferenceGrid
+from ..rf.channel import RFChannel
+from ..types import EstimateResult, TrackingReading
+from ..utils.validation import ensure_positive_int
+
+__all__ = ["FingerprintEstimator"]
+
+
+class FingerprintEstimator:
+    """Weighted-kNN matching against an offline-calibrated radio map.
+
+    Parameters
+    ----------
+    k:
+        Neighbour count of the fingerprint match.
+    resolution:
+        Calibration lattice density per axis (``resolution²`` survey
+        points over the grid bounds).
+    """
+
+    name = "Fingerprint"
+
+    def __init__(self, k: int = 4, *, resolution: int = 12):
+        self.k = ensure_positive_int(k, "k")
+        self.resolution = ensure_positive_int(resolution, "resolution", minimum=2)
+        self._map_positions: np.ndarray | None = None
+        self._map_rssi: np.ndarray | None = None  # (K, n_points)
+
+    @property
+    def calibrated(self) -> bool:
+        return self._map_rssi is not None
+
+    def calibrate(
+        self,
+        channel: RFChannel,
+        grid: ReferenceGrid,
+        rng: np.random.Generator,
+        *,
+        n_reads: int = 20,
+    ) -> int:
+        """Survey the sensing area through ``channel`` (the offline phase).
+
+        Returns the number of surveyed points. The channel passed here is
+        the *calibration-time* world; pass a channel with a different
+        seed to :meth:`estimate`'s readings to model environment drift.
+        """
+        xmin, ymin, xmax, ymax = grid.bounds
+        xs = np.linspace(xmin, xmax, self.resolution)
+        ys = np.linspace(ymin, ymax, self.resolution)
+        xx, yy = np.meshgrid(xs, ys)
+        points = np.column_stack([xx.ravel(), yy.ravel()])
+        self._map_positions = points
+        self._map_rssi = channel.sample_rssi_matrix(points, rng, n_reads=n_reads)
+        return points.shape[0]
+
+    def estimate(self, reading: TrackingReading) -> EstimateResult:
+        if self._map_rssi is None or self._map_positions is None:
+            raise EstimationError(
+                "FingerprintEstimator.estimate called before calibrate()"
+            )
+        if reading.n_readers != self._map_rssi.shape[0]:
+            raise ReadingError(
+                f"reading has {reading.n_readers} readers; the radio map was "
+                f"calibrated with {self._map_rssi.shape[0]}"
+            )
+        diff = self._map_rssi - reading.tracking_rssi[:, np.newaxis]
+        e = np.linalg.norm(diff, axis=0)
+        k = min(self.k, e.size)
+        nearest = np.argpartition(e, k - 1)[:k]
+        nearest = nearest[np.argsort(e[nearest], kind="stable")]
+        inv = 1.0 / (e[nearest] ** 2 + 1e-9)
+        weights = inv / inv.sum()
+        xy = weights @ self._map_positions[nearest]
+        return EstimateResult(
+            position=(float(xy[0]), float(xy[1])),
+            estimator=self.name,
+            diagnostics={
+                "neighbours": nearest.tolist(),
+                "match_distances": e[nearest].tolist(),
+                "map_points": int(self._map_positions.shape[0]),
+            },
+        )
+
+    def __repr__(self) -> str:
+        state = "calibrated" if self.calibrated else "uncalibrated"
+        return (
+            f"FingerprintEstimator(k={self.k}, resolution={self.resolution}, "
+            f"{state})"
+        )

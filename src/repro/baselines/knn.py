@@ -1,0 +1,91 @@
+"""Generalized weighted k-nearest-neighbour estimator.
+
+LANDMARC is the special case ``metric="euclidean", weight_exponent=2``.
+The generalization serves the ablation benches: how sensitive is the
+baseline to the RSSI-space metric and to the weighting exponent? (The
+original LANDMARC paper reports k and the weighting as empirical
+choices.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..types import EstimateResult, TrackingReading
+from ..utils.validation import ensure_positive_int
+
+__all__ = ["WeightedKnnEstimator"]
+
+_METRIC_ORDS = {"euclidean": 2.0, "manhattan": 1.0, "chebyshev": np.inf}
+
+
+class WeightedKnnEstimator:
+    """kNN in RSSI space with configurable metric and weighting.
+
+    Parameters
+    ----------
+    k:
+        Neighbour count.
+    metric:
+        ``"euclidean"``, ``"manhattan"`` or ``"chebyshev"`` — the norm
+        across readers used for the RSSI-space distance E.
+    weight_exponent:
+        Weights are ``1 / E^p``; ``p=0`` yields the unweighted mean of
+        the k neighbour positions.
+    """
+
+    def __init__(
+        self,
+        k: int = 4,
+        *,
+        metric: str = "euclidean",
+        weight_exponent: float = 2.0,
+        epsilon: float = 1e-9,
+    ):
+        self.k = ensure_positive_int(k, "k")
+        if metric not in _METRIC_ORDS:
+            raise ConfigurationError(
+                f"unknown metric {metric!r}; expected one of {sorted(_METRIC_ORDS)}"
+            )
+        if weight_exponent < 0:
+            raise ConfigurationError(
+                f"weight_exponent must be >= 0, got {weight_exponent}"
+            )
+        if epsilon <= 0:
+            raise ConfigurationError(f"epsilon must be positive, got {epsilon}")
+        self.metric = metric
+        self.weight_exponent = float(weight_exponent)
+        self.epsilon = float(epsilon)
+        self.name = f"kNN(k={k},{metric},p={weight_exponent:g})"
+
+    def estimate(self, reading: TrackingReading) -> EstimateResult:
+        diff = reading.reference_rssi - reading.tracking_rssi[:, np.newaxis]
+        e = np.linalg.norm(diff, ord=_METRIC_ORDS[self.metric], axis=0)
+        n_refs = reading.n_references
+        k = min(self.k, n_refs)
+        if k < n_refs:
+            nearest = np.argpartition(e, k)[:k]
+        else:
+            nearest = np.arange(n_refs)
+        nearest = nearest[np.argsort(e[nearest], kind="stable")]
+        e_sel = e[nearest]
+
+        if self.weight_exponent == 0.0:
+            weights = np.full(k, 1.0 / k)
+        else:
+            inv = 1.0 / (e_sel**self.weight_exponent + self.epsilon)
+            weights = inv / inv.sum()
+        coords = reading.reference_positions[nearest]
+        xy = weights @ coords
+        return EstimateResult(
+            position=(float(xy[0]), float(xy[1])),
+            estimator=self.name,
+            diagnostics={"neighbours": nearest.tolist(), "weights": weights.tolist()},
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"WeightedKnnEstimator(k={self.k}, metric={self.metric!r}, "
+            f"weight_exponent={self.weight_exponent})"
+        )

@@ -1,0 +1,101 @@
+"""The LANDMARC estimator (Ni, Liu, Lau, Patil — PerCom 2003).
+
+LANDMARC locates a tracking tag by comparing its per-reader RSSI vector
+with those of reference tags at known positions:
+
+1. For each reference tag ``j`` compute the Euclidean RSSI-space distance
+   ``E_j = sqrt(sum_k (S_k(track) - S_k(ref_j))^2)`` over the K readers.
+2. Select the ``k`` reference tags with smallest ``E`` (k=4 in both
+   papers).
+3. Weight them ``w_j = (1/E_j^2) / sum_i (1/E_i^2)`` and output the
+   weighted centroid of their known coordinates.
+
+The epsilon guard handles the measure-zero case of an exact RSSI match
+(E=0), which would otherwise divide by zero — in that case the matching
+reference position is returned directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..types import EstimateResult, TrackingReading
+from ..utils.validation import ensure_positive_int
+
+__all__ = ["LandmarcEstimator", "rssi_space_distances"]
+
+
+def rssi_space_distances(reading: TrackingReading, *, ord: float = 2.0) -> np.ndarray:
+    """Per-reference-tag distance in RSSI space, shape ``(n_refs,)``.
+
+    ``ord`` selects the vector norm across readers (2 = the papers'
+    Euclidean E).
+    """
+    diff = reading.reference_rssi - reading.tracking_rssi[:, np.newaxis]
+    return np.linalg.norm(diff, ord=ord, axis=0)
+
+
+class LandmarcEstimator:
+    """Classic LANDMARC with ``k`` nearest reference tags.
+
+    Parameters
+    ----------
+    k:
+        Number of nearest neighbours (the papers use 4).
+    epsilon:
+        Tie-break guard added to ``E^2`` in the weight denominator; also
+        the threshold below which an exact match short-circuits.
+    """
+
+    name = "LANDMARC"
+
+    def __init__(self, k: int = 4, *, epsilon: float = 1e-9):
+        self.k = ensure_positive_int(k, "k")
+        if epsilon <= 0:
+            raise ConfigurationError(f"epsilon must be positive, got {epsilon}")
+        self.epsilon = float(epsilon)
+
+    def estimate(self, reading: TrackingReading) -> EstimateResult:
+        n_refs = reading.n_references
+        k = min(self.k, n_refs)
+        e = rssi_space_distances(reading)
+
+        # k smallest E values (argpartition avoids a full sort).
+        if k < n_refs:
+            nearest = np.argpartition(e, k)[:k]
+        else:
+            nearest = np.arange(n_refs)
+        nearest = nearest[np.argsort(e[nearest], kind="stable")]
+
+        e_sel = e[nearest]
+        if e_sel[0] < self.epsilon:
+            # Exact RSSI match: the tag is at the reference position.
+            pos = reading.reference_positions[nearest[0]]
+            return EstimateResult(
+                position=(float(pos[0]), float(pos[1])),
+                estimator=self.name,
+                diagnostics={
+                    "neighbours": nearest.tolist(),
+                    "weights": [1.0] + [0.0] * (k - 1),
+                    "exact_match": True,
+                },
+            )
+
+        inv_sq = 1.0 / (e_sel**2 + self.epsilon)
+        weights = inv_sq / inv_sq.sum()
+        coords = reading.reference_positions[nearest]
+        xy = weights @ coords
+        return EstimateResult(
+            position=(float(xy[0]), float(xy[1])),
+            estimator=self.name,
+            diagnostics={
+                "neighbours": nearest.tolist(),
+                "weights": weights.tolist(),
+                "rssi_distances": e_sel.tolist(),
+                "exact_match": False,
+            },
+        )
+
+    def __repr__(self) -> str:
+        return f"LandmarcEstimator(k={self.k})"

@@ -1,0 +1,34 @@
+"""Nearest-reference estimator: snap to the best-matching reference tag.
+
+The k=1 degenerate case of LANDMARC. Its error floor is half the grid
+diagonal spacing, which makes it a useful sanity baseline: any smarter
+estimator that loses to it is broken.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..types import EstimateResult, TrackingReading
+from .landmarc import rssi_space_distances
+
+__all__ = ["NearestReferenceEstimator"]
+
+
+class NearestReferenceEstimator:
+    """Output the position of the single nearest reference tag in RSSI space."""
+
+    name = "Nearest"
+
+    def estimate(self, reading: TrackingReading) -> EstimateResult:
+        e = rssi_space_distances(reading)
+        best = int(np.argmin(e))
+        pos = reading.reference_positions[best]
+        return EstimateResult(
+            position=(float(pos[0]), float(pos[1])),
+            estimator=self.name,
+            diagnostics={"neighbour": best, "rssi_distance": float(e[best])},
+        )
+
+    def __repr__(self) -> str:
+        return "NearestReferenceEstimator()"

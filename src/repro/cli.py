@@ -1,0 +1,227 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``figure <fig2b|fig3|fig4|fig6|fig7|fig8>``
+    Regenerate one of the paper's figures and print it.
+``compare``
+    VIRE vs LANDMARC (and optional extra baselines) in one environment,
+    with the CDF table and the paired bootstrap verdict.
+``report``
+    The full reproduction report (all figures + statistics).
+``track``
+    Demo: track a moving asset through the full event-driven testbed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from . import __version__
+from .analysis import cdf_comparison, format_cdf_comparison, paired_bootstrap
+from .analysis.report import reproduction_report
+from .baselines import (
+    LandmarcEstimator,
+    NearestReferenceEstimator,
+    WeightedCentroidEstimator,
+)
+from .core.config import VIREConfig
+from .core.estimator import VIREEstimator
+from .experiments import figures
+from .experiments.runner import run_scenario
+from .experiments.scenarios import paper_scenario
+
+__all__ = ["main", "build_parser"]
+
+_FIGURES = {
+    "fig2b": lambda args: figures.format_fig2b(
+        figures.fig2b(n_trials=args.trials, base_seed=args.seed)
+    ),
+    "fig3": lambda args: figures.format_fig3(figures.fig3(seed=args.seed)),
+    "fig4": lambda args: figures.format_fig4(figures.fig4(seed=args.seed)),
+    "fig6": lambda args: figures.format_fig6(
+        figures.fig6(n_trials=args.trials, base_seed=args.seed)
+    ),
+    "fig7": lambda args: figures.format_fig7(
+        figures.fig7(n_trials=args.trials, base_seed=args.seed)
+    ),
+    "fig8": lambda args: figures.format_fig8(
+        figures.fig8(n_trials=args.trials, base_seed=args.seed)
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="VIRE (ICPP 2007) reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig = sub.add_parser("figure", help="regenerate one paper figure")
+    fig.add_argument("name", choices=sorted(_FIGURES))
+    fig.add_argument("--trials", type=int, default=15)
+    fig.add_argument("--seed", type=int, default=0)
+
+    cmp_ = sub.add_parser("compare", help="VIRE vs LANDMARC in one environment")
+    cmp_.add_argument("--env", default="Env3", choices=["Env1", "Env2", "Env3"])
+    cmp_.add_argument("--trials", type=int, default=15)
+    cmp_.add_argument("--seed", type=int, default=0)
+    cmp_.add_argument(
+        "--all-baselines",
+        action="store_true",
+        help="also run nearest-reference and soft-centroid baselines",
+    )
+
+    rep = sub.add_parser("report", help="full reproduction report")
+    rep.add_argument("--trials", type=int, default=15)
+    rep.add_argument("--seed", type=int, default=0)
+    rep.add_argument("--no-sweeps", action="store_true",
+                     help="skip the slow Fig. 7/8 sweeps")
+
+    trk = sub.add_parser("track", help="moving-asset tracking demo")
+    trk.add_argument("--env", default="Env3", choices=["Env1", "Env2", "Env3"])
+    trk.add_argument("--seed", type=int, default=7)
+
+    hm = sub.add_parser("heatmap", help="spatial error map of an estimator")
+    hm.add_argument("--env", default="Env3", choices=["Env1", "Env2", "Env3"])
+    hm.add_argument("--estimator", default="vire",
+                    choices=["vire", "landmarc", "softvire"])
+    hm.add_argument("--resolution", type=int, default=9)
+    hm.add_argument("--trials", type=int, default=4)
+    hm.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_figure(args) -> str:
+    return _FIGURES[args.name](args)
+
+
+def _cmd_compare(args) -> str:
+    scenario = paper_scenario(args.env, n_trials=args.trials, base_seed=args.seed)
+    estimators = [
+        LandmarcEstimator(),
+        VIREEstimator(scenario.grid, VIREConfig(target_total_tags=900)),
+    ]
+    if args.all_baselines:
+        estimators += [NearestReferenceEstimator(), WeightedCentroidEstimator()]
+    result = run_scenario(scenario, estimators)
+    lines = [f"{args.env}, {args.trials} trials:"]
+    for est in result.estimators:
+        s = est.summary()
+        lines.append(
+            f"  {est.estimator_name:18s} mean {s.mean:.3f} m, "
+            f"median {s.median:.3f}, p90 {s.p90:.3f}, max {s.maximum:.3f}"
+        )
+    lines.append("")
+    lines.append(format_cdf_comparison(cdf_comparison(result)))
+    lines.append("")
+    lines.append(str(paired_bootstrap(result, "LANDMARC", "VIRE")))
+    return "\n".join(lines)
+
+
+def _cmd_report(args) -> str:
+    return reproduction_report(
+        n_trials=args.trials,
+        base_seed=args.seed,
+        include_sweeps=not args.no_sweeps,
+    )
+
+
+def _cmd_track(args) -> str:
+    from .hardware.deployment import build_paper_deployment
+    from .hardware.middleware import SmoothingSpec
+    from .rf.environments import environment_by_name
+    from .tracking import KalmanFilter2D, TagTracker, Trajectory, evaluate_track
+    from .utils.ascii import format_table
+
+    route = Trajectory.constant_speed(
+        [(0.5, 0.5), (2.5, 0.7), (2.4, 2.5), (0.6, 2.4)],
+        speed_mps=0.15,
+        start_time_s=10.0,
+    )
+    deployment = build_paper_deployment(
+        environment_by_name(args.env),
+        tracking_tags={"asset": route.position_at(0.0)},
+        seed=args.seed,
+        smoothing=SmoothingSpec(mode="window", window=10),
+        tracking_smoothing=SmoothingSpec(mode="window", window=2),
+    )
+    simulator = deployment.simulator
+    vire = VIREEstimator(deployment.grid, VIREConfig(target_total_tags=900))
+    tracker = TagTracker(
+        vire, KalmanFilter2D(measurement_sigma_m=0.8, process_accel=0.08)
+    )
+    simulator.warm_up()
+    rows = []
+    while simulator.now < route.end_time_s:
+        deployment.move_tracking_tag("asset", route.position_at(simulator.now))
+        simulator.run_for(3.0)
+        point = tracker.ingest_from(
+            simulator.now, lambda: simulator.reading_for("asset")
+        )
+        if point.filtered is not None:
+            true = route.position_at(simulator.now)
+            rows.append(
+                [
+                    f"{simulator.now:.0f}s",
+                    f"({true[0]:.2f}, {true[1]:.2f})",
+                    f"({point.filtered[0]:.2f}, {point.filtered[1]:.2f})",
+                ]
+            )
+    stats = evaluate_track(route, tracker.fixes())
+    table = format_table(
+        ["t", "true", "tracked"], rows, title=f"tracking in {args.env}"
+    )
+    return (
+        table
+        + f"\n\nRMSE {stats.rmse_m:.3f} m over {stats.n_fixes} fixes "
+        + f"({tracker.dropout_count} dropouts)"
+    )
+
+
+def _cmd_heatmap(args) -> str:
+    from .analysis import format_heatmap, spatial_error_map
+    from .core.soft import SoftVIREEstimator
+    from .geometry.placement import paper_testbed_grid
+    from .rf.environments import environment_by_name
+
+    grid = paper_testbed_grid()
+    estimators = {
+        "landmarc": lambda: LandmarcEstimator(),
+        "vire": lambda: VIREEstimator(grid, VIREConfig(target_total_tags=900)),
+        "softvire": lambda: SoftVIREEstimator(grid),
+    }
+    emap = spatial_error_map(
+        environment_by_name(args.env),
+        grid,
+        estimators[args.estimator](),
+        resolution=args.resolution,
+        n_trials=args.trials,
+        base_seed=args.seed,
+        pad_m=0.5,
+    )
+    return format_heatmap(emap)
+
+
+_COMMANDS = {
+    "figure": _cmd_figure,
+    "compare": _cmd_compare,
+    "report": _cmd_report,
+    "track": _cmd_track,
+    "heatmap": _cmd_heatmap,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    print(_COMMANDS[args.command](args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""Boundary-tag detection and compensation (paper §6 future work).
+
+The paper: tags at the boundary of the sensing area suffer much larger
+errors because reference coverage is one-sided, and Tag 9 (slightly
+*outside* the grid) is worst. "If it is physically infeasible to put more
+reference tags beyond the sensing area, it will be an interesting future
+study to investigate how to identify such boundary tags and to compensate
+their localization accuracy."
+
+We implement both halves:
+
+* :func:`is_boundary_estimate` — identify a boundary situation from the
+  *selection mask*: when the surviving cells crowd the outer ring of the
+  virtual lattice, the true position is likely at or beyond the edge
+  (the interior of the grid explains the readings badly).
+* :class:`BoundaryAwareEstimator` — a wrapper that runs plain VIRE first
+  and, when the boundary detector fires, re-estimates on a virtual
+  lattice extended beyond the real grid by linear extrapolation
+  (``boundary_extension_cells``), letting the centroid move outside the
+  convex hull of the real tags — which plain VIRE/LANDMARC structurally
+  cannot do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry.grid import ReferenceGrid
+from ..types import EstimateResult, TrackingReading
+from .config import VIREConfig
+from .estimator import VIREEstimator
+
+__all__ = ["is_boundary_estimate", "BoundaryAwareEstimator"]
+
+
+def is_boundary_estimate(
+    selected: np.ndarray, *, ring_width: int = 1, crowding_threshold: float = 0.5
+) -> bool:
+    """Does the surviving mask crowd the lattice's outer ring?
+
+    Parameters
+    ----------
+    selected:
+        Boolean ``(v_rows, v_cols)`` surviving mask.
+    ring_width:
+        Thickness (in virtual cells) of the outer ring examined.
+    crowding_threshold:
+        Flag as boundary when at least this fraction of surviving cells
+        lies in the ring.
+    """
+    sel = np.asarray(selected, dtype=bool)
+    total = sel.sum()
+    if total == 0:
+        return False
+    ring = np.zeros_like(sel)
+    w = ring_width
+    ring[:w, :] = True
+    ring[-w:, :] = True
+    ring[:, :w] = True
+    ring[:, -w:] = True
+    on_ring = (sel & ring).sum()
+    return bool(on_ring / total >= crowding_threshold)
+
+
+class BoundaryAwareEstimator:
+    """VIRE with §6 boundary compensation.
+
+    Parameters
+    ----------
+    grid:
+        The real reference grid.
+    config:
+        Base VIRE configuration (its ``boundary_extension_cells`` is
+        forced to 0 for the first pass).
+    extension_cells:
+        Physical cells of outward extrapolation used in the second pass.
+    ring_width, crowding_threshold:
+        Detector parameters (see :func:`is_boundary_estimate`).
+    """
+
+    name = "VIRE+boundary"
+
+    def __init__(
+        self,
+        grid: ReferenceGrid,
+        config: VIREConfig | None = None,
+        *,
+        extension_cells: int = 1,
+        ring_width: int = 1,
+        crowding_threshold: float = 0.5,
+    ):
+        base_config = (config or VIREConfig()).with_(boundary_extension_cells=0)
+        self.inner = VIREEstimator(grid, base_config)
+        self.extended = VIREEstimator(
+            grid, base_config.with_(boundary_extension_cells=extension_cells)
+        )
+        self.ring_width = int(ring_width)
+        self.crowding_threshold = float(crowding_threshold)
+
+    def estimate(self, reading: TrackingReading) -> EstimateResult:
+        mask = self.inner.selection_mask(reading)
+        boundary = is_boundary_estimate(
+            mask,
+            ring_width=self.ring_width,
+            crowding_threshold=self.crowding_threshold,
+        )
+        result = (self.extended if boundary else self.inner).estimate(reading)
+        return EstimateResult(
+            position=result.position,
+            estimator=self.name,
+            diagnostics={**dict(result.diagnostics), "boundary_detected": boundary},
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BoundaryAwareEstimator(extension={self.extended.virtual_grid.extension_cells}, "
+            f"ring={self.ring_width}, crowding={self.crowding_threshold})"
+        )

@@ -1,0 +1,63 @@
+"""Elimination of unlikely positions (paper §4.3).
+
+"After obtaining K proximity maps from the K readers, an intersection
+function is applied to indicate the most probable regions." Cells must
+survive in every reader's map to remain candidates; everything else is
+eliminated. ``min_votes`` relaxes the strict intersection to a majority
+vote — useful when one reader is obstructed (failure injection) and as a
+design-parameter ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .proximity import ProximityMap
+
+__all__ = ["vote_map", "eliminate"]
+
+
+def vote_map(maps: Sequence[ProximityMap]) -> np.ndarray:
+    """Integer lattice counting in how many reader maps each cell survives."""
+    if not maps:
+        raise ConfigurationError("need at least one proximity map")
+    shape = maps[0].mask.shape
+    votes = np.zeros(shape, dtype=np.int64)
+    for m in maps:
+        if m.mask.shape != shape:
+            raise ConfigurationError(
+                f"proximity map shapes differ: {m.mask.shape} vs {shape}"
+            )
+        votes += m.mask
+    return votes
+
+
+def eliminate(
+    maps: Sequence[ProximityMap], *, min_votes: int | None = None
+) -> np.ndarray:
+    """Intersect the proximity maps into the final candidate mask.
+
+    Parameters
+    ----------
+    maps:
+        One map per reader.
+    min_votes:
+        Cells surviving in at least this many maps are kept; ``None``
+        (the paper) requires all K.
+
+    Returns
+    -------
+    Boolean ``(v_rows, v_cols)`` mask of surviving regions. May be empty
+    — callers implement the fallback policy.
+    """
+    k = len(maps)
+    votes = vote_map(maps)
+    needed = k if min_votes is None else min_votes
+    if not (1 <= needed <= k):
+        raise ConfigurationError(
+            f"min_votes must be within 1..{k}, got {needed}"
+        )
+    return votes >= needed

@@ -1,0 +1,205 @@
+"""RSSI interpolation onto the virtual lattice (paper §4.2 and §6).
+
+Given one reader's RSSI at the real reference tags — a ``(rows, cols)``
+lattice — produce RSSI values for every virtual tag. Three schemes:
+
+* :class:`BilinearInterpolator` — the paper's linear interpolation. The
+  paper interpolates along horizontal then vertical lines; composed, that
+  is exactly separable bilinear interpolation over each physical cell,
+  which is how we implement it (vectorized in one shot).
+* :class:`PolynomialInterpolator` — §6's "polynomial relation" future
+  work: a separable global polynomial through all the row/column samples
+  (Newton/Vandermonde form). Exact at the real tags; prone to Runge
+  oscillation on large grids, which is precisely the §6 caveat —
+  the ablation bench quantifies it.
+* :class:`SplineInterpolator` — the practical nonlinear variant: a
+  :class:`scipy.interpolate.RectBivariateSpline` (cubic where the grid
+  permits), exact at the real tags, without the Runge pathology.
+
+All interpolators share the signature
+``interpolate(lattice, virtual_grid) -> (v_rows, v_cols) array`` and are
+exact at virtual positions that coincide with real tags. Outside the real
+grid (``extension_cells > 0``) they extrapolate — linearly for the
+bilinear scheme (edge-cell gradients), natively for the others.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+from scipy.interpolate import RectBivariateSpline
+
+from ..exceptions import ConfigurationError
+from .virtual_grid import VirtualGrid
+
+__all__ = [
+    "GridInterpolator",
+    "BilinearInterpolator",
+    "PolynomialInterpolator",
+    "SplineInterpolator",
+    "make_interpolator",
+]
+
+
+@runtime_checkable
+class GridInterpolator(Protocol):
+    """Maps a real-tag RSSI lattice to the virtual lattice."""
+
+    def interpolate(
+        self, lattice: np.ndarray, virtual_grid: VirtualGrid
+    ) -> np.ndarray:
+        """Return virtual RSSI values with shape ``virtual_grid.shape``."""
+        ...
+
+
+def _check_lattice(lattice: np.ndarray, virtual_grid: VirtualGrid) -> np.ndarray:
+    grid = virtual_grid.grid
+    arr = np.asarray(lattice, dtype=np.float64)
+    if arr.shape != (grid.rows, grid.cols):
+        raise ConfigurationError(
+            f"lattice shape {arr.shape} mismatches grid {grid.rows}x{grid.cols}"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise ConfigurationError("RSSI lattice contains non-finite values")
+    return arr
+
+
+class BilinearInterpolator:
+    """The paper's linear interpolation, vectorized as bilinear patches.
+
+    Inside each physical cell, the virtual tag at fractional offset
+    ``(p/n, q/n)`` from the cell's SW corner takes
+
+    ``S = (1-fy)(1-fx) S_sw + (1-fy)fx S_se + fy(1-fx) S_nw + fy fx S_ne``
+
+    which reduces to the paper's two 1-D formulas along the lattice lines.
+    Beyond the real grid it continues the edge cell's plane (linear
+    extrapolation).
+    """
+
+    name = "linear"
+
+    def interpolate(
+        self, lattice: np.ndarray, virtual_grid: VirtualGrid
+    ) -> np.ndarray:
+        arr = _check_lattice(lattice, virtual_grid)
+        grid = virtual_grid.grid
+        fi, fj = virtual_grid.fractional_indices()
+        # Base cell indices, clamped so extension cells reuse (extrapolate)
+        # the outermost physical cell.
+        a = np.clip(np.floor(fi).astype(np.intp), 0, grid.rows - 2)
+        b = np.clip(np.floor(fj).astype(np.intp), 0, grid.cols - 2)
+        fy = (fi - a)[:, np.newaxis]  # may lie outside [0,1] in the extension
+        fx = (fj - b)[np.newaxis, :]
+        aa = a[:, np.newaxis]
+        bb = b[np.newaxis, :]
+        sw = arr[aa, bb]
+        se = arr[aa, bb + 1]
+        nw = arr[aa + 1, bb]
+        ne = arr[aa + 1, bb + 1]
+        return (
+            (1.0 - fy) * (1.0 - fx) * sw
+            + (1.0 - fy) * fx * se
+            + fy * (1.0 - fx) * nw
+            + fy * fx * ne
+        )
+
+
+class PolynomialInterpolator:
+    """Separable global polynomial interpolation (degree rows-1 x cols-1).
+
+    Fits, per axis, the unique polynomial through all samples using a
+    Vandermonde solve in normalized coordinates (for conditioning), then
+    evaluates the tensor product on the virtual lattice. On the paper's
+    4x4 grid this is a bicubic surface.
+    """
+
+    name = "polynomial"
+
+    #: Refuse plainly ill-conditioned fits; a 1e8 condition number on a
+    #: Vandermonde matrix already means meaningless oscillation.
+    MAX_GRID_POINTS_PER_AXIS = 12
+
+    def interpolate(
+        self, lattice: np.ndarray, virtual_grid: VirtualGrid
+    ) -> np.ndarray:
+        arr = _check_lattice(lattice, virtual_grid)
+        grid = virtual_grid.grid
+        if max(grid.rows, grid.cols) > self.MAX_GRID_POINTS_PER_AXIS:
+            raise ConfigurationError(
+                "global polynomial interpolation is numerically unusable "
+                f"beyond {self.MAX_GRID_POINTS_PER_AXIS} points per axis "
+                f"(grid is {grid.rows}x{grid.cols}); use 'spline'"
+            )
+        fi, fj = virtual_grid.fractional_indices()
+
+        # Normalized sample coordinates in [-1, 1] per axis.
+        def norm(idx: np.ndarray, count: int) -> np.ndarray:
+            half = (count - 1) / 2.0
+            return (idx - half) / max(half, 1.0)
+
+        rows_t = norm(np.arange(grid.rows, dtype=np.float64), grid.rows)
+        cols_t = norm(np.arange(grid.cols, dtype=np.float64), grid.cols)
+        vi_t = norm(fi, grid.rows)
+        vj_t = norm(fj, grid.cols)
+
+        # Columns direction first: coefficients per row polynomial.
+        v_cols_mat = np.vander(cols_t, N=grid.cols, increasing=True)
+        coef_rows = np.linalg.solve(v_cols_mat, arr.T).T  # (rows, cols)
+        eval_cols = np.vander(vj_t, N=grid.cols, increasing=True)
+        rows_on_vcols = coef_rows @ eval_cols.T  # (rows, v_cols)
+
+        # Then rows direction.
+        v_rows_mat = np.vander(rows_t, N=grid.rows, increasing=True)
+        coef_cols = np.linalg.solve(v_rows_mat, rows_on_vcols)  # (rows, v_cols)
+        eval_rows = np.vander(vi_t, N=grid.rows, increasing=True)
+        return eval_rows @ coef_cols  # (v_rows, v_cols)
+
+
+class SplineInterpolator:
+    """Bivariate spline interpolation (cubic where the grid permits).
+
+    Uses :class:`scipy.interpolate.RectBivariateSpline` with smoothing 0
+    so it passes exactly through the real tag values. Degree is capped by
+    the available points per axis (a 2-point axis degrades to linear).
+    """
+
+    name = "spline"
+
+    def __init__(self, degree: int = 3):
+        if not (1 <= degree <= 5):
+            raise ConfigurationError(f"degree must be in 1..5, got {degree}")
+        self.degree = int(degree)
+
+    def interpolate(
+        self, lattice: np.ndarray, virtual_grid: VirtualGrid
+    ) -> np.ndarray:
+        arr = _check_lattice(lattice, virtual_grid)
+        grid = virtual_grid.grid
+        fi, fj = virtual_grid.fractional_indices()
+        kx = min(self.degree, grid.rows - 1)
+        ky = min(self.degree, grid.cols - 1)
+        spline = RectBivariateSpline(
+            np.arange(grid.rows, dtype=np.float64),
+            np.arange(grid.cols, dtype=np.float64),
+            arr,
+            kx=kx,
+            ky=ky,
+            s=0,
+        )
+        return spline(fi, fj)
+
+
+def make_interpolator(kind: str) -> GridInterpolator:
+    """Factory keyed by the config string ("linear"/"polynomial"/"spline")."""
+    if kind == "linear":
+        return BilinearInterpolator()
+    if kind == "polynomial":
+        return PolynomialInterpolator()
+    if kind == "spline":
+        return SplineInterpolator()
+    raise ConfigurationError(
+        f"unknown interpolation kind {kind!r}; "
+        "expected 'linear', 'polynomial' or 'spline'"
+    )

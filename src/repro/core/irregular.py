@@ -1,0 +1,252 @@
+"""Irregular (per-cell) virtual granularity (paper §6 future work).
+
+"Then we can construct a virtual grid for each real grid cell with
+different granularity to potentially achieve a better accuracy." — e.g.
+finer subdivision near obstacles, coarse elsewhere to save computation.
+
+With non-uniform granularity the virtual tags no longer form a regular
+lattice, so this variant works on a *point set*: each physical cell
+contributes its own local lattice of virtual tags, deduplicated along
+shared edges. Interpolation evaluates the bilinear patch of the owning
+cell at each point; elimination thresholds the per-point deviations; the
+w2 cluster factor generalizes from lattice connected-components to
+connected components of a radius graph over the surviving points.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.csgraph import connected_components as sparse_components
+from scipy.spatial import cKDTree
+
+from ..baselines.landmarc import LandmarcEstimator
+from ..exceptions import ConfigurationError, EstimationError, ReadingError
+from ..geometry.grid import ReferenceGrid
+from ..types import EstimateResult, TrackingReading
+from .threshold import minimal_feasible_threshold
+
+__all__ = ["IrregularVirtualGrid", "IrregularVIREEstimator", "bilinear_at_points"]
+
+
+def bilinear_at_points(
+    lattice: np.ndarray, grid: ReferenceGrid, points: np.ndarray
+) -> np.ndarray:
+    """Evaluate the per-cell bilinear RSSI surface at arbitrary points.
+
+    Points outside the grid are extrapolated from the nearest edge cell
+    (consistent with :class:`~repro.core.interpolation.BilinearInterpolator`).
+    """
+    arr = np.asarray(lattice, dtype=np.float64)
+    if arr.shape != (grid.rows, grid.cols):
+        raise ConfigurationError(
+            f"lattice shape {arr.shape} mismatches grid {grid.rows}x{grid.cols}"
+        )
+    pts = np.asarray(points, dtype=np.float64)
+    ox, oy = grid.origin
+    fj = (pts[:, 0] - ox) / grid.spacing_x
+    fi = (pts[:, 1] - oy) / grid.spacing_y
+    a = np.clip(np.floor(fi).astype(np.intp), 0, grid.rows - 2)
+    b = np.clip(np.floor(fj).astype(np.intp), 0, grid.cols - 2)
+    fy = fi - a
+    fx = fj - b
+    sw = arr[a, b]
+    se = arr[a, b + 1]
+    nw = arr[a + 1, b]
+    ne = arr[a + 1, b + 1]
+    return (
+        (1 - fy) * (1 - fx) * sw
+        + (1 - fy) * fx * se
+        + fy * (1 - fx) * nw
+        + fy * fx * ne
+    )
+
+
+class IrregularVirtualGrid:
+    """Virtual tags with per-physical-cell subdivision counts.
+
+    Parameters
+    ----------
+    grid:
+        The real reference grid.
+    default_subdivisions:
+        ``n`` for cells not listed in ``cell_subdivisions``.
+    cell_subdivisions:
+        Mapping ``(cell_row, cell_col) -> n`` overriding specific cells;
+        cell indices run 0..rows-2 / 0..cols-2.
+    """
+
+    def __init__(
+        self,
+        grid: ReferenceGrid,
+        default_subdivisions: int = 4,
+        cell_subdivisions: Mapping[tuple[int, int], int] | None = None,
+    ):
+        if default_subdivisions < 1:
+            raise ConfigurationError(
+                f"default_subdivisions must be >= 1, got {default_subdivisions}"
+            )
+        self.grid = grid
+        self.default_subdivisions = int(default_subdivisions)
+        overrides = dict(cell_subdivisions or {})
+        for (cr, cc), n in overrides.items():
+            if not (0 <= cr < grid.rows - 1 and 0 <= cc < grid.cols - 1):
+                raise ConfigurationError(
+                    f"cell index ({cr}, {cc}) outside "
+                    f"{grid.rows-1}x{grid.cols-1} cells"
+                )
+            if n < 1:
+                raise ConfigurationError(f"subdivision for cell ({cr},{cc}) must be >= 1")
+        self.cell_subdivisions = overrides
+        self._positions, self._link_radius = self._build_points()
+
+    def subdivisions_of(self, cell_row: int, cell_col: int) -> int:
+        return self.cell_subdivisions.get(
+            (cell_row, cell_col), self.default_subdivisions
+        )
+
+    def _build_points(self) -> tuple[np.ndarray, float]:
+        grid = self.grid
+        ox, oy = grid.origin
+        chunks = []
+        max_pitch = 0.0
+        for cr in range(grid.rows - 1):
+            for cc in range(grid.cols - 1):
+                n = self.subdivisions_of(cr, cc)
+                xs = ox + (cc + np.arange(n + 1) / n) * grid.spacing_x
+                ys = oy + (cr + np.arange(n + 1) / n) * grid.spacing_y
+                xx, yy = np.meshgrid(xs, ys)
+                chunks.append(np.column_stack([xx.ravel(), yy.ravel()]))
+                max_pitch = max(
+                    max_pitch, grid.spacing_x / n, grid.spacing_y / n
+                )
+        pts = np.vstack(chunks)
+        # Deduplicate points shared along cell borders (round to 1e-9 m).
+        keys = np.round(pts / 1e-9).astype(np.int64)
+        _, unique_idx = np.unique(keys, axis=0, return_index=True)
+        pts = pts[np.sort(unique_idx)]
+        # Neighbour linking distance: slightly beyond the coarsest pitch so
+        # clusters spanning cells of different granularity stay connected.
+        return pts, 1.1 * max_pitch
+
+    @property
+    def positions(self) -> np.ndarray:
+        """All virtual tag coordinates, shape ``(P, 2)``."""
+        return self._positions
+
+    @property
+    def total_tags(self) -> int:
+        return int(self._positions.shape[0])
+
+    @property
+    def link_radius_m(self) -> float:
+        """Radius used to connect surviving points into clusters."""
+        return self._link_radius
+
+    def interpolate(self, lattice: np.ndarray) -> np.ndarray:
+        """Bilinear RSSI of every virtual point, shape ``(P,)``."""
+        return bilinear_at_points(lattice, self.grid, self._positions)
+
+
+class IrregularVIREEstimator:
+    """VIRE over an irregular virtual point set.
+
+    Same pipeline as :class:`~repro.core.estimator.VIREEstimator` —
+    interpolate, adaptive threshold, eliminate, weight — with lattice
+    operations replaced by point-set equivalents.
+    """
+
+    name = "VIRE-irregular"
+
+    def __init__(
+        self,
+        virtual_grid: IrregularVirtualGrid,
+        *,
+        min_cells: int = 1,
+        w1_mode: str = "inverse",
+        use_w2: bool = True,
+    ):
+        if min_cells < 1:
+            raise ConfigurationError(f"min_cells must be >= 1, got {min_cells}")
+        if w1_mode not in ("inverse", "uniform"):
+            raise ConfigurationError(
+                f"w1_mode must be 'inverse' or 'uniform', got {w1_mode!r}"
+            )
+        self.virtual_grid = virtual_grid
+        self.min_cells = int(min_cells)
+        self.w1_mode = w1_mode
+        self.use_w2 = bool(use_w2)
+        self._tree = cKDTree(virtual_grid.positions)
+        self._fallback = LandmarcEstimator()
+
+    def _check_layout(self, reading: TrackingReading) -> None:
+        expected = self.virtual_grid.grid.tag_positions()
+        if reading.reference_positions.shape != expected.shape or not np.allclose(
+            reading.reference_positions, expected, atol=1e-9
+        ):
+            raise ReadingError(
+                "reading's reference positions do not match the estimator grid"
+            )
+
+    def estimate(self, reading: TrackingReading) -> EstimateResult:
+        self._check_layout(reading)
+        grid = self.virtual_grid.grid
+        k = reading.n_readers
+        pts = self.virtual_grid.positions
+        dev = np.empty((k, pts.shape[0]))
+        for i in range(k):
+            lattice = grid.lattice_from_flat(reading.reference_rssi[i])
+            virtual = self.virtual_grid.interpolate(lattice)
+            dev[i] = np.abs(virtual - reading.tracking_rssi[i])
+
+        threshold = minimal_feasible_threshold(
+            dev[:, :, np.newaxis], min_cells=self.min_cells
+        )
+        selected = (dev <= threshold).all(axis=0)
+        idx = np.flatnonzero(selected)
+        if idx.size == 0:
+            raise EstimationError("elimination left no candidate points")
+
+        if self.w1_mode == "inverse":
+            w1 = 1.0 / (dev[:, idx].mean(axis=0) + 1e-6)
+        else:
+            w1 = np.ones(idx.size)
+
+        if self.use_w2 and idx.size > 1:
+            sub = pts[idx]
+            pairs = cKDTree(sub).query_pairs(
+                self.virtual_grid.link_radius_m, output_type="ndarray"
+            )
+            if pairs.size:
+                adj = sparse.coo_matrix(
+                    (np.ones(pairs.shape[0]), (pairs[:, 0], pairs[:, 1])),
+                    shape=(idx.size, idx.size),
+                )
+                n_comp, labels = sparse_components(adj, directed=False)
+            else:
+                n_comp, labels = idx.size, np.arange(idx.size)
+            sizes = np.bincount(labels, minlength=n_comp)
+            w2 = sizes[labels].astype(np.float64)
+        else:
+            w2 = np.ones(idx.size)
+
+        w = w1 * w2
+        w = w / w.sum()
+        xy = w @ pts[idx]
+        return EstimateResult(
+            position=(float(xy[0]), float(xy[1])),
+            estimator=self.name,
+            diagnostics={
+                "threshold_db": float(threshold),
+                "n_selected": int(idx.size),
+                "total_virtual_tags": self.virtual_grid.total_tags,
+            },
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"IrregularVIREEstimator(points={self.virtual_grid.total_tags}, "
+            f"min_cells={self.min_cells})"
+        )

@@ -1,0 +1,134 @@
+"""Adaptive threshold selection (paper §4.3).
+
+The paper's informal three-step procedure — start from a generous
+threshold, then shrink the largest-area reader's threshold step by step
+while "that particular area is reserved", repeating until "at the last,
+the same threshold will be selected" — converges to a simple closed
+form when every reader shares the final threshold:
+
+For candidate cell ``c`` to survive the intersection at threshold ``t``,
+it needs ``deviation[k, c] <= t`` for *every* reader ``k``, i.e.
+``t >= max_k deviation[k, c]``. The smallest ``t`` keeping at least
+``min_cells`` cells alive is therefore the ``min_cells``-th smallest
+value of the per-cell maximum deviation.
+
+:func:`minimal_feasible_threshold` computes that closed form in one
+vectorized pass. :class:`AdaptiveThresholdSelector` additionally provides
+the paper-faithful *iterative* procedure (largest-area reader first,
+fixed step) — the unit tests verify both land on the same answer within
+one step size, documenting that the closed form is a legitimate
+implementation of §4.3 and not a different algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["minimal_feasible_threshold", "AdaptiveThresholdSelector"]
+
+
+def _check_deviations(deviations: np.ndarray) -> np.ndarray:
+    dev = np.asarray(deviations, dtype=np.float64)
+    if dev.ndim != 3 or dev.shape[0] < 1:
+        raise ConfigurationError(
+            f"deviations must have shape (K, v_rows, v_cols), got {dev.shape}"
+        )
+    if np.any(dev < 0) or not np.all(np.isfinite(dev)):
+        raise ConfigurationError("deviations must be finite and non-negative")
+    return dev
+
+
+def minimal_feasible_threshold(
+    deviations: np.ndarray, *, min_cells: int = 1
+) -> float:
+    """Smallest shared threshold keeping >= ``min_cells`` cells selected.
+
+    Parameters
+    ----------
+    deviations:
+        ``(K, v_rows, v_cols)`` tensor of |virtual - tracking| RSSI.
+    min_cells:
+        Required surviving-intersection size.
+    """
+    dev = _check_deviations(deviations)
+    if min_cells < 1:
+        raise ConfigurationError(f"min_cells must be >= 1, got {min_cells}")
+    worst_per_cell = dev.max(axis=0).ravel()
+    if min_cells > worst_per_cell.size:
+        raise ConfigurationError(
+            f"min_cells={min_cells} exceeds the {worst_per_cell.size} lattice cells"
+        )
+    # k-th smallest of the per-cell maxima.
+    idx = min_cells - 1
+    return float(np.partition(worst_per_cell, idx)[idx])
+
+
+@dataclass(frozen=True)
+class AdaptiveThresholdSelector:
+    """Paper-faithful iterative threshold reduction.
+
+    Parameters
+    ----------
+    step_db:
+        Reduction step size.
+    min_cells:
+        Stop shrinking before the intersection would fall below this.
+    max_iterations:
+        Safety bound on the reduction loop.
+    """
+
+    step_db: float = 0.05
+    min_cells: int = 1
+    max_iterations: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.step_db <= 0:
+            raise ConfigurationError(f"step_db must be positive, got {self.step_db}")
+        if self.min_cells < 1:
+            raise ConfigurationError(f"min_cells must be >= 1, got {self.min_cells}")
+        if self.max_iterations < 1:
+            raise ConfigurationError("max_iterations must be >= 1")
+
+    def closed_form(self, deviations: np.ndarray) -> float:
+        """The vectorized equivalent (see module docstring)."""
+        return minimal_feasible_threshold(deviations, min_cells=self.min_cells)
+
+    def iterative(self, deviations: np.ndarray) -> float:
+        """Step-by-step reduction as described in §4.3.
+
+        The paper initializes from "the largest area in the proximity
+        map" and reduces step by step while the candidate area survives,
+        noting that "at the last, the same threshold will be selected"
+        for every reader. We therefore descend one *shared* threshold:
+        start at the value where every reader's map covers the whole
+        lattice, and keep subtracting ``step_db`` while the K-map
+        intersection retains at least ``min_cells`` cells. (Descending
+        per-reader thresholds largest-area-first converges to the same
+        shared value, but a naive greedy per-reader descent can lock onto
+        a lexicographically-minimal cell instead of the min-max cell —
+        the shared descent is the unambiguous reading.)
+
+        Agreement with :meth:`closed_form` within one ``step_db`` is a
+        unit-tested invariant.
+        """
+        dev = _check_deviations(deviations)
+        threshold = float(dev.max())
+
+        def intersection_size(t: float) -> int:
+            return int((dev <= t).all(axis=0).sum())
+
+        if intersection_size(threshold) < self.min_cells:
+            raise ConfigurationError(
+                f"even the widest threshold keeps fewer than "
+                f"{self.min_cells} cells"
+            )
+        for _ in range(self.max_iterations):
+            trial = threshold - self.step_db
+            if trial < 0 or intersection_size(trial) < self.min_cells:
+                break
+            threshold = trial
+        return threshold

@@ -1,0 +1,147 @@
+"""Weighting of surviving regions (paper §4.3).
+
+Two factors combine into the final per-cell weight ``w_i = w1_i * w2_i``:
+
+* ``w1`` reflects the RSSI discrepancy between the cell's virtual tag and
+  the tracking tag — smaller discrepancy, larger weight. The paper's
+  printed formula sums ``|S_k(T_i) - S_k(R)| / (K * S_k(T_i))`` which, for
+  negative dBm values, is sign-broken and grows with discrepancy; we
+  expose the evident intent as ``"inverse"`` (default) and the literal
+  magnitude, inverted into a weight, as ``"paper-literal"`` (see
+  DESIGN.md).
+* ``w2`` reflects cluster density: "the densest area has the largest
+  weight". Surviving cells are grouped into conjunctive regions
+  (connected components, 4- or 8-neighbourhood) and each cell's w2 is its
+  component's size, normalized.
+
+The combined weights are normalized to sum to 1 over surviving cells, so
+the final coordinate is a convex combination of virtual tag positions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+from ..exceptions import ConfigurationError, EstimationError
+
+__all__ = ["compute_w1", "compute_w2", "combine_weights", "connected_components"]
+
+_EPS_DB = 1e-6
+
+
+def compute_w1(
+    deviations: np.ndarray,
+    selected: np.ndarray,
+    *,
+    mode: str = "inverse",
+    virtual_rssi: np.ndarray | None = None,
+) -> np.ndarray:
+    """Per-cell discrepancy factor over the selected cells.
+
+    Parameters
+    ----------
+    deviations:
+        ``(K, v_rows, v_cols)`` |virtual - tracking| tensor.
+    selected:
+        Boolean ``(v_rows, v_cols)`` surviving mask.
+    mode:
+        ``"inverse"`` — ``w1 = 1 / (mean_k deviation + eps)``;
+        ``"paper-literal"`` — the printed formula's magnitude
+        ``mean_k deviation / |S_k(T_i)|``, inverted into a weight;
+        ``"uniform"`` — all ones (ablation).
+    virtual_rssi:
+        Required for ``"paper-literal"``: the ``(K, v_rows, v_cols)``
+        interpolated RSSI (denominator of the printed formula).
+
+    Returns
+    -------
+    Non-negative ``(v_rows, v_cols)`` array, zero outside ``selected``
+    (unnormalized — :func:`combine_weights` normalizes).
+    """
+    dev = np.asarray(deviations, dtype=np.float64)
+    sel = np.asarray(selected, dtype=bool)
+    if dev.ndim != 3 or dev.shape[1:] != sel.shape:
+        raise ConfigurationError(
+            f"deviations shape {dev.shape} mismatches selection {sel.shape}"
+        )
+    out = np.zeros(sel.shape)
+    if mode == "uniform":
+        out[sel] = 1.0
+        return out
+    if mode == "inverse":
+        mean_dev = dev.mean(axis=0)
+        out[sel] = 1.0 / (mean_dev[sel] + _EPS_DB)
+        return out
+    if mode == "paper-literal":
+        if virtual_rssi is None:
+            raise ConfigurationError(
+                "paper-literal w1 requires the interpolated virtual_rssi"
+            )
+        v = np.asarray(virtual_rssi, dtype=np.float64)
+        if v.shape != dev.shape:
+            raise ConfigurationError(
+                f"virtual_rssi shape {v.shape} mismatches deviations {dev.shape}"
+            )
+        literal = (dev / np.maximum(np.abs(v), _EPS_DB)).mean(axis=0)
+        out[sel] = 1.0 / (literal[sel] + _EPS_DB)
+        return out
+    raise ConfigurationError(f"unknown w1 mode {mode!r}")
+
+
+def connected_components(
+    selected: np.ndarray, *, connectivity: int = 4
+) -> tuple[np.ndarray, int]:
+    """Label conjunctive regions of the surviving mask.
+
+    Returns ``(labels, n_components)`` where ``labels`` assigns 1..n to
+    surviving cells and 0 elsewhere.
+    """
+    sel = np.asarray(selected, dtype=bool)
+    if sel.ndim != 2:
+        raise ConfigurationError(f"selected must be 2-D, got shape {sel.shape}")
+    if connectivity == 4:
+        structure = np.array([[0, 1, 0], [1, 1, 1], [0, 1, 0]])
+    elif connectivity == 8:
+        structure = np.ones((3, 3))
+    else:
+        raise ConfigurationError(f"connectivity must be 4 or 8, got {connectivity}")
+    labels, n = ndimage.label(sel, structure=structure)
+    return labels, int(n)
+
+
+def compute_w2(selected: np.ndarray, *, connectivity: int = 4) -> np.ndarray:
+    """Cluster-density factor: each surviving cell's component size.
+
+    The paper's ``w2_i = n_ci / sum n_ci`` with ``n_ci`` the number of
+    conjunctive regions in cell i's cluster. Returned unnormalized (the
+    component size itself); :func:`combine_weights` normalizes the
+    product.
+    """
+    labels, n = connected_components(selected, connectivity=connectivity)
+    out = np.zeros(labels.shape)
+    if n == 0:
+        return out
+    sizes = ndimage.sum_labels(
+        np.ones_like(labels), labels, index=np.arange(1, n + 1)
+    )
+    mask = labels > 0
+    out[mask] = sizes[labels[mask] - 1]
+    return out
+
+
+def combine_weights(w1: np.ndarray, w2: np.ndarray | None) -> np.ndarray:
+    """Normalize ``w = w1 * w2`` to sum to 1 over its support.
+
+    Raises :class:`~repro.exceptions.EstimationError` when the support is
+    empty (no surviving cells) — the estimator's fallback policies handle
+    that case upstream.
+    """
+    w1 = np.asarray(w1, dtype=np.float64)
+    w = w1 if w2 is None else w1 * np.asarray(w2, dtype=np.float64)
+    if np.any(w < 0):
+        raise ConfigurationError("weights must be non-negative")
+    total = w.sum()
+    if total <= 0:
+        raise EstimationError("no surviving cells to weight")
+    return w / total

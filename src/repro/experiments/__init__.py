@@ -1,0 +1,39 @@
+"""Experiment harness: scenarios, runners and the paper's figures.
+
+Each figure of the paper's evaluation has a regenerator in
+:mod:`~repro.experiments.figures`; DESIGN.md carries the experiment
+index. The harness has two measurement paths:
+
+* the *direct* path (:class:`~repro.experiments.measurement.TrialSampler`)
+  samples readings straight from the channel — fast, used by the figure
+  benches;
+* the *testbed* path drives the full event simulation
+  (:mod:`repro.hardware`) — slower, used by integration tests and the
+  examples to prove the stack end-to-end.
+"""
+
+from .measurement import TrialSampler, MeasurementSpec
+from .scenarios import TestbedScenario, paper_scenario
+from .runner import run_scenario, ScenarioResult, EstimatorErrors
+from .metrics import ErrorSummary, summarize_errors, reduction_percent
+from . import figures
+from . import sweeps
+from . import placement
+from . import scale
+
+__all__ = [
+    "TrialSampler",
+    "MeasurementSpec",
+    "TestbedScenario",
+    "paper_scenario",
+    "run_scenario",
+    "ScenarioResult",
+    "EstimatorErrors",
+    "ErrorSummary",
+    "summarize_errors",
+    "reduction_percent",
+    "figures",
+    "sweeps",
+    "placement",
+    "scale",
+]

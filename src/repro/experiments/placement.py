@@ -1,0 +1,215 @@
+"""Reader placement evaluation and optimization (paper §6 future work).
+
+"If we have more readers, we would like to study the effects with more
+reader[s] and the placement of these readers to the performance of
+VIRE." This module supplies that study:
+
+* :func:`candidate_reader_positions` — a ring of candidate positions
+  around the sensing area (corners, edge midpoints, optional inset),
+* :func:`evaluate_placement` — mean VIRE error of a concrete reader set
+  over a grid of validation points,
+* :func:`greedy_reader_placement` — forward greedy selection: starting
+  from the best single reader, repeatedly add the candidate that lowers
+  the validation error most. Greedy is the standard baseline for sensor
+  placement (submodular-style objectives); it recovers the paper's
+  4-corner layout or beats it, depending on the environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.config import VIREConfig
+from ..core.estimator import VIREEstimator
+from ..exceptions import ConfigurationError
+from ..geometry.grid import ReferenceGrid
+from ..rf.environments import EnvironmentSpec
+from ..types import TrackingReading
+from ..utils.rng import derive_rng
+
+__all__ = [
+    "candidate_reader_positions",
+    "evaluate_placement",
+    "greedy_reader_placement",
+    "PlacementResult",
+]
+
+
+def candidate_reader_positions(
+    grid: ReferenceGrid,
+    *,
+    margin_m: float = 1.0,
+    include_edge_midpoints: bool = True,
+    include_inset_corners: bool = False,
+) -> np.ndarray:
+    """Candidate reader sites on a ring ``margin_m`` outside the grid.
+
+    Always includes the four corners (the paper's deployment); edge
+    midpoints and inset corners (halfway between centre and corner)
+    extend the search space.
+    """
+    if margin_m < 0:
+        raise ConfigurationError(f"margin must be >= 0, got {margin_m}")
+    xmin, ymin, xmax, ymax = grid.bounds
+    lo_x, hi_x = xmin - margin_m, xmax + margin_m
+    lo_y, hi_y = ymin - margin_m, ymax + margin_m
+    mid_x, mid_y = (xmin + xmax) / 2.0, (ymin + ymax) / 2.0
+    candidates = [
+        (lo_x, lo_y), (hi_x, lo_y), (lo_x, hi_y), (hi_x, hi_y),  # corners
+    ]
+    if include_edge_midpoints:
+        candidates += [
+            (mid_x, lo_y), (mid_x, hi_y), (lo_x, mid_y), (hi_x, mid_y),
+        ]
+    if include_inset_corners:
+        candidates += [
+            ((lo_x + mid_x) / 2, (lo_y + mid_y) / 2),
+            ((hi_x + mid_x) / 2, (lo_y + mid_y) / 2),
+            ((lo_x + mid_x) / 2, (hi_y + mid_y) / 2),
+            ((hi_x + mid_x) / 2, (hi_y + mid_y) / 2),
+        ]
+    return np.asarray(candidates, dtype=np.float64)
+
+
+def _validation_points(grid: ReferenceGrid, per_axis: int) -> np.ndarray:
+    """Interior validation lattice, offset from the reference tags."""
+    xmin, ymin, xmax, ymax = grid.bounds
+    xs = np.linspace(xmin + 0.2, xmax - 0.2, per_axis)
+    ys = np.linspace(ymin + 0.2, ymax - 0.2, per_axis)
+    xx, yy = np.meshgrid(xs, ys)
+    return np.column_stack([xx.ravel(), yy.ravel()])
+
+
+def evaluate_placement(
+    environment: EnvironmentSpec,
+    grid: ReferenceGrid,
+    reader_positions: np.ndarray,
+    *,
+    config: VIREConfig | None = None,
+    validation_per_axis: int = 4,
+    n_trials: int = 5,
+    n_reads: int = 8,
+    base_seed: int = 0,
+) -> float:
+    """Mean VIRE error (m) of one reader layout over validation points.
+
+    Builds a fresh channel per trial (so the score is not tied to one
+    frozen world) and averages over a small validation lattice.
+    """
+    readers = np.asarray(reader_positions, dtype=np.float64)
+    if readers.ndim != 2 or readers.shape[1] != 2 or readers.shape[0] < 2:
+        raise ConfigurationError(
+            f"need at least 2 readers with shape (K, 2), got {readers.shape}"
+        )
+    for pos in readers:
+        if not environment.room.contains(pos, pad=1e-9):
+            raise ConfigurationError(
+                f"candidate reader {tuple(pos)} outside the room"
+            )
+    estimator = VIREEstimator(grid, config or VIREConfig(target_total_tags=900))
+    points = _validation_points(grid, validation_per_axis)
+    ref_positions = grid.tag_positions()
+    sigma_ref = environment.reference_tag_offset_sigma_db
+    sigma_trk = environment.tracking_tag_offset_sigma_db
+
+    errors = []
+    for trial in range(n_trials):
+        seed = base_seed + trial
+        channel = environment.build_channel(readers, seed=seed)
+        offset_rng = derive_rng(seed, "tag-offsets")
+        ref_offsets = (
+            offset_rng.normal(0.0, sigma_ref, grid.n_tags)
+            if sigma_ref > 0 else np.zeros(grid.n_tags)
+        )
+        reading_rng = derive_rng(seed, "readings")
+        for point in points:
+            all_pos = np.vstack([ref_positions, point[np.newaxis, :]])
+            matrix = channel.sample_rssi_matrix(
+                all_pos, reading_rng, n_reads=n_reads
+            )
+            matrix[:, :-1] += ref_offsets[np.newaxis, :]
+            if sigma_trk > 0:
+                matrix[:, -1] += offset_rng.normal(0.0, sigma_trk)
+            reading = TrackingReading(
+                reference_rssi=matrix[:, :-1],
+                tracking_rssi=matrix[:, -1],
+                reference_positions=ref_positions,
+            )
+            estimate = estimator.estimate(reading)
+            errors.append(
+                float(np.hypot(estimate.x - point[0], estimate.y - point[1]))
+            )
+    return float(np.mean(errors))
+
+
+@dataclass(frozen=True)
+class PlacementResult:
+    """Outcome of the greedy placement search."""
+
+    selected_positions: np.ndarray     # (K, 2) in selection order
+    selected_indices: tuple[int, ...]  # into the candidate array
+    error_trace: tuple[float, ...]     # validation error after each addition
+
+
+def greedy_reader_placement(
+    environment: EnvironmentSpec,
+    grid: ReferenceGrid,
+    candidates: np.ndarray,
+    *,
+    n_readers: int = 4,
+    config: VIREConfig | None = None,
+    n_trials: int = 3,
+    base_seed: int = 0,
+) -> PlacementResult:
+    """Forward greedy selection of ``n_readers`` sites from ``candidates``.
+
+    The first step evaluates candidate *pairs* containing each candidate
+    (a single reader cannot localize), then grows the set one reader at a
+    time, always adding the candidate with the lowest resulting
+    validation error.
+    """
+    cand = np.asarray(candidates, dtype=np.float64)
+    if cand.ndim != 2 or cand.shape[1] != 2:
+        raise ConfigurationError(f"candidates must be (n, 2), got {cand.shape}")
+    if not (2 <= n_readers <= cand.shape[0]):
+        raise ConfigurationError(
+            f"n_readers must be in 2..{cand.shape[0]}, got {n_readers}"
+        )
+
+    def score(indices: list[int]) -> float:
+        return evaluate_placement(
+            environment, grid, cand[indices],
+            config=config, n_trials=n_trials, base_seed=base_seed,
+        )
+
+    # Seed with the best pair.
+    best_pair, best_err = None, np.inf
+    n = cand.shape[0]
+    for i in range(n):
+        for j in range(i + 1, n):
+            err = score([i, j])
+            if err < best_err:
+                best_pair, best_err = [i, j], err
+    assert best_pair is not None
+    selected = best_pair
+    trace = [best_err]
+
+    while len(selected) < n_readers:
+        best_idx, best_err = None, np.inf
+        for idx in range(n):
+            if idx in selected:
+                continue
+            err = score(selected + [idx])
+            if err < best_err:
+                best_idx, best_err = idx, err
+        assert best_idx is not None
+        selected.append(best_idx)
+        trace.append(best_err)
+
+    return PlacementResult(
+        selected_positions=cand[selected],
+        selected_indices=tuple(selected),
+        error_trace=tuple(trace),
+    )

@@ -1,0 +1,88 @@
+"""Experiment scenarios: which testbed, which tracking tags, how many trials."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+from ..exceptions import ConfigurationError
+from ..geometry.grid import ReferenceGrid
+from ..geometry.placement import figure2a_tracking_tags, paper_testbed_grid
+from ..rf.environments import EnvironmentSpec, environment_by_name
+from .measurement import MeasurementSpec
+
+__all__ = ["TestbedScenario", "paper_scenario"]
+
+
+@dataclass(frozen=True)
+class TestbedScenario:
+    """A complete experiment description.
+
+    Parameters
+    ----------
+    environment:
+        Channel recipe.
+    grid:
+        Real reference grid.
+    tracking_tags:
+        Mapping of tag label -> true position.
+    n_trials:
+        Monte-Carlo repetitions (each with its own frozen world).
+    base_seed:
+        Trial ``i`` uses seed ``base_seed + i``.
+    measurement:
+        Reading depth and optional quantization.
+    """
+
+    environment: EnvironmentSpec
+    grid: ReferenceGrid = field(default_factory=paper_testbed_grid)
+    tracking_tags: Mapping[int, tuple[float, float]] = field(default_factory=dict)
+    n_trials: int = 20
+    base_seed: int = 0
+    measurement: MeasurementSpec = field(default_factory=MeasurementSpec)
+
+    def __post_init__(self) -> None:
+        if self.n_trials < 1:
+            raise ConfigurationError(f"n_trials must be >= 1, got {self.n_trials}")
+        if not self.tracking_tags:
+            raise ConfigurationError("scenario needs at least one tracking tag")
+        object.__setattr__(self, "tracking_tags", dict(self.tracking_tags))
+
+    def with_(self, **changes) -> "TestbedScenario":
+        """Modified copy (thin wrapper over dataclasses.replace)."""
+        return replace(self, **changes)
+
+    def trial_seed(self, trial_index: int) -> int:
+        """Deterministic per-trial seed."""
+        if not (0 <= trial_index < self.n_trials):
+            raise ConfigurationError(
+                f"trial index {trial_index} out of range 0..{self.n_trials - 1}"
+            )
+        return self.base_seed + trial_index
+
+
+def paper_scenario(
+    environment: str | EnvironmentSpec = "Env3",
+    *,
+    n_trials: int = 20,
+    base_seed: int = 0,
+    n_reads: int = 10,
+) -> TestbedScenario:
+    """The paper's §5 testbed: 4x4 grid, 9 Fig. 2(a) tracking tags.
+
+    ``environment`` may be a preset name ("Env1".."Env3") or a full spec.
+    """
+    env = (
+        environment_by_name(environment)
+        if isinstance(environment, str)
+        else environment
+    )
+    grid = paper_testbed_grid()
+    return TestbedScenario(
+        environment=env,
+        grid=grid,
+        tracking_tags=figure2a_tracking_tags(grid),
+        n_trials=n_trials,
+        base_seed=base_seed,
+        measurement=MeasurementSpec(n_reads=n_reads),
+    )

@@ -1,0 +1,29 @@
+"""2-D geometry substrate: segments, rooms with walls, reference grids,
+and the canonical testbed placements from the paper."""
+
+from .vector import Segment, segments_intersect, reflect_point, segment_intersection
+from .rooms import Wall, Room, rectangular_room
+from .grid import ReferenceGrid
+from .placement import (
+    corner_reader_positions,
+    paper_testbed_grid,
+    figure2a_tracking_tags,
+    NON_BOUNDARY_TAGS,
+    BOUNDARY_TAGS,
+)
+
+__all__ = [
+    "Segment",
+    "segments_intersect",
+    "segment_intersection",
+    "reflect_point",
+    "Wall",
+    "Room",
+    "rectangular_room",
+    "ReferenceGrid",
+    "corner_reader_positions",
+    "paper_testbed_grid",
+    "figure2a_tracking_tags",
+    "NON_BOUNDARY_TAGS",
+    "BOUNDARY_TAGS",
+]

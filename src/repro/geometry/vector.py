@@ -1,0 +1,141 @@
+"""Low-level 2-D vector primitives.
+
+Everything here is pure geometry with no RF semantics: segment-segment
+intersection (used to count wall crossings on a propagation path) and
+point reflection across a line (used by the image-method multipath model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import GeometryError
+from ..utils.arrays import as_point
+
+__all__ = [
+    "Segment",
+    "segments_intersect",
+    "segment_intersection",
+    "reflect_point",
+    "point_segment_distance",
+]
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A finite 2-D line segment from ``a`` to ``b`` (metres)."""
+
+    a: tuple[float, float]
+    b: tuple[float, float]
+
+    def __post_init__(self) -> None:
+        pa = as_point(self.a, "segment endpoint a")
+        pb = as_point(self.b, "segment endpoint b")
+        object.__setattr__(self, "a", (float(pa[0]), float(pa[1])))
+        object.__setattr__(self, "b", (float(pb[0]), float(pb[1])))
+        if self.length < _EPS:
+            raise GeometryError(f"degenerate zero-length segment at {self.a}")
+
+    @property
+    def length(self) -> float:
+        return float(np.hypot(self.b[0] - self.a[0], self.b[1] - self.a[1]))
+
+    @property
+    def midpoint(self) -> tuple[float, float]:
+        return ((self.a[0] + self.b[0]) / 2.0, (self.a[1] + self.b[1]) / 2.0)
+
+    @property
+    def direction(self) -> np.ndarray:
+        """Unit direction vector from ``a`` to ``b``."""
+        d = np.array([self.b[0] - self.a[0], self.b[1] - self.a[1]])
+        return d / np.linalg.norm(d)
+
+    @property
+    def normal(self) -> np.ndarray:
+        """Unit normal (left of the direction vector)."""
+        d = self.direction
+        return np.array([-d[1], d[0]])
+
+    def as_array(self) -> np.ndarray:
+        return np.array([self.a, self.b], dtype=np.float64)
+
+
+def _cross(o: np.ndarray, p: np.ndarray, q: np.ndarray) -> float:
+    return float((p[0] - o[0]) * (q[1] - o[1]) - (p[1] - o[1]) * (q[0] - o[0]))
+
+
+def segments_intersect(s1: Segment, s2: Segment) -> bool:
+    """Return True if the two closed segments share at least one point."""
+    return segment_intersection(s1, s2) is not None
+
+
+def segment_intersection(s1: Segment, s2: Segment) -> tuple[float, float] | None:
+    """Return the intersection point of two segments, or None.
+
+    For collinear overlapping segments the midpoint of the overlap is
+    returned. Endpoint touching counts as intersection.
+    """
+    p = np.asarray(s1.a)
+    r = np.asarray(s1.b) - p
+    q = np.asarray(s2.a)
+    s = np.asarray(s2.b) - q
+    rxs = float(r[0] * s[1] - r[1] * s[0])
+    qp = q - p
+    qpxr = float(qp[0] * r[1] - qp[1] * r[0])
+
+    if abs(rxs) < _EPS:
+        if abs(qpxr) > _EPS:
+            return None  # parallel, non-collinear
+        # Collinear: project onto r and look for parameter overlap.
+        rr = float(r @ r)
+        t0 = float(qp @ r) / rr
+        t1 = t0 + float(s @ r) / rr
+        lo, hi = min(t0, t1), max(t0, t1)
+        lo = max(lo, 0.0)
+        hi = min(hi, 1.0)
+        if lo > hi + _EPS:
+            return None
+        tm = (lo + hi) / 2.0
+        pt = p + tm * r
+        return (float(pt[0]), float(pt[1]))
+
+    t = float(qp[0] * s[1] - qp[1] * s[0]) / rxs
+    u = qpxr / rxs
+    if -_EPS <= t <= 1.0 + _EPS and -_EPS <= u <= 1.0 + _EPS:
+        pt = p + t * r
+        return (float(pt[0]), float(pt[1]))
+    return None
+
+
+def reflect_point(point: Sequence[float], line: Segment) -> tuple[float, float]:
+    """Mirror a point across the infinite line through ``line``.
+
+    This is the core operation of the image method: the first-order
+    reflected propagation path from T to R off a wall W has the same
+    length as the straight path from the *image* of T (mirrored across W)
+    to R.
+    """
+    p = as_point(point, "point")
+    a = np.asarray(line.a)
+    d = line.direction
+    ap = p - a
+    proj = a + d * float(ap @ d)
+    mirrored = 2.0 * proj - p
+    return (float(mirrored[0]), float(mirrored[1]))
+
+
+def point_segment_distance(point: Sequence[float], seg: Segment) -> float:
+    """Distance from a point to the nearest point of a finite segment."""
+    p = as_point(point, "point")
+    a = np.asarray(seg.a)
+    b = np.asarray(seg.b)
+    ab = b - a
+    t = float((p - a) @ ab) / float(ab @ ab)
+    t = min(1.0, max(0.0, t))
+    closest = a + t * ab
+    return float(np.hypot(*(p - closest)))

@@ -1,0 +1,228 @@
+"""The central middleware server.
+
+The paper (§3.2): "The information of tags received by readers is
+gathered to a central processing server … through the software middleware
+program, we can directly obtain the useful information … including the
+tag ID, the reader ID, and RSSI values."
+
+:class:`MiddlewareServer` collects :class:`~repro.hardware.readers.ReadingRecord`
+streams and maintains, per (reader, tag), a temporally smoothed RSSI
+estimate. Smoothing is the designed defence against per-reading fading
+and transient disturbances (§4.1); both a sliding-window mean and an EWMA
+are provided. :meth:`snapshot` assembles the consistent
+:class:`~repro.types.TrackingReading` an estimator consumes, enforcing
+freshness so a tag that stopped beaconing (dead battery, left the area)
+is reported missing rather than silently stale.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, ReadingError
+from ..types import TrackingReading
+from .readers import ReadingRecord
+
+__all__ = ["SmoothingSpec", "MiddlewareServer"]
+
+
+@dataclass(frozen=True)
+class SmoothingSpec:
+    """Temporal smoothing configuration.
+
+    Parameters
+    ----------
+    mode:
+        ``"window"`` — mean of the last ``window`` readings;
+        ``"ewma"`` — exponentially weighted moving average with weight
+        ``alpha`` on the newest reading;
+        ``"latest"`` — no smoothing.
+    window:
+        Window length for ``"window"`` mode.
+    alpha:
+        EWMA weight in (0, 1] for ``"ewma"`` mode.
+    max_age_s:
+        A (reader, tag) series with no reading newer than this is treated
+        as missing at snapshot time (None disables the freshness check).
+    """
+
+    mode: str = "window"
+    window: int = 5
+    alpha: float = 0.4
+    max_age_s: float | None = 30.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("window", "ewma", "latest"):
+            raise ConfigurationError(f"unknown smoothing mode {self.mode!r}")
+        if self.window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {self.window}")
+        if not (0.0 < self.alpha <= 1.0):
+            raise ConfigurationError(f"alpha must be in (0, 1], got {self.alpha}")
+        if self.max_age_s is not None and self.max_age_s <= 0:
+            raise ConfigurationError(f"max_age_s must be positive, got {self.max_age_s}")
+
+
+class _Series:
+    """Smoothed RSSI state for one (reader, tag) pair."""
+
+    __slots__ = ("history", "ewma", "last_time")
+
+    def __init__(self, window: int):
+        self.history: deque[float] = deque(maxlen=window)
+        self.ewma: float | None = None
+        self.last_time: float = -np.inf
+
+    def update(self, rssi: float, time_s: float, spec: SmoothingSpec) -> None:
+        self.history.append(rssi)
+        if self.ewma is None:
+            self.ewma = rssi
+        else:
+            self.ewma = spec.alpha * rssi + (1.0 - spec.alpha) * self.ewma
+        self.last_time = time_s
+
+    def value(self, spec: SmoothingSpec) -> float:
+        if not self.history:
+            raise ReadingError("series has no readings")
+        if spec.mode == "window":
+            return float(np.mean(self.history))
+        if spec.mode == "ewma":
+            assert self.ewma is not None
+            return float(self.ewma)
+        return float(self.history[-1])
+
+
+class MiddlewareServer:
+    """Collects reading records and produces estimator-ready snapshots.
+
+    Parameters
+    ----------
+    reader_ids:
+        Ordered reader identifiers; this order defines the row order of
+        every snapshot's RSSI matrices.
+    reference_tags:
+        Mapping of reference tag id -> known ``(x, y)`` position; the
+        iteration order defines the reference-column order of snapshots.
+    smoothing:
+        Temporal smoothing configuration.
+    """
+
+    def __init__(
+        self,
+        reader_ids: Iterable[str],
+        reference_tags: Mapping[str, tuple[float, float]],
+        smoothing: SmoothingSpec | None = None,
+        tracking_smoothing: SmoothingSpec | None = None,
+    ):
+        self.reader_ids = tuple(reader_ids)
+        if not self.reader_ids:
+            raise ConfigurationError("need at least one reader id")
+        if len(set(self.reader_ids)) != len(self.reader_ids):
+            raise ConfigurationError("reader ids must be unique")
+        self.reference_ids = tuple(reference_tags.keys())
+        if not self.reference_ids:
+            raise ConfigurationError("need at least one reference tag")
+        self.reference_positions = np.array(
+            [reference_tags[t] for t in self.reference_ids], dtype=np.float64
+        )
+        self._reference_id_set = frozenset(self.reference_ids)
+        self.smoothing = smoothing or SmoothingSpec()
+        # Reference tags are static, so deep smoothing is free accuracy;
+        # tracking tags move, so their series may want a shorter memory.
+        # Default: same smoothing for both.
+        self.tracking_smoothing = tracking_smoothing or self.smoothing
+        self._series: dict[tuple[str, str], _Series] = {}
+        self._records_ingested = 0
+
+    @property
+    def records_ingested(self) -> int:
+        return self._records_ingested
+
+    def _spec_for(self, tag_id: str) -> SmoothingSpec:
+        return (
+            self.smoothing
+            if tag_id in self._reference_id_set
+            else self.tracking_smoothing
+        )
+
+    def ingest(self, record: ReadingRecord) -> None:
+        """Accept one reading record from a reader."""
+        if record.reader_id not in self.reader_ids:
+            raise ReadingError(f"unknown reader id {record.reader_id!r}")
+        key = (record.reader_id, record.tag_id)
+        spec = self._spec_for(record.tag_id)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _Series(spec.window)
+        series.update(record.rssi_dbm, record.time_s, spec)
+        self._records_ingested += 1
+
+    def _smoothed(self, reader_id: str, tag_id: str, now_s: float) -> float | None:
+        series = self._series.get((reader_id, tag_id))
+        if series is None or not series.history:
+            return None
+        spec = self._spec_for(tag_id)
+        max_age = spec.max_age_s
+        if max_age is not None and now_s - series.last_time > max_age:
+            return None
+        return series.value(spec)
+
+    def snapshot(
+        self, tracking_tag_id: str, now_s: float
+    ) -> TrackingReading:
+        """Assemble the localization input for one tracking tag.
+
+        Raises :class:`~repro.exceptions.ReadingError` if any reader lacks
+        a fresh reading of the tracking tag or of any reference tag —
+        estimators require a complete matrix. (Readers that miss weak
+        frames produce exactly this error; callers decide whether to retry
+        after more simulation time or drop the reader via
+        :meth:`TrackingReading.subset_readers`.)
+        """
+        k = len(self.reader_ids)
+        n = len(self.reference_ids)
+        ref = np.empty((k, n))
+        trk = np.empty(k)
+        for i, reader_id in enumerate(self.reader_ids):
+            t_val = self._smoothed(reader_id, tracking_tag_id, now_s)
+            if t_val is None:
+                raise ReadingError(
+                    f"reader {reader_id!r} has no fresh reading of tracking "
+                    f"tag {tracking_tag_id!r} at t={now_s:.1f}s"
+                )
+            trk[i] = t_val
+            for j, ref_id in enumerate(self.reference_ids):
+                r_val = self._smoothed(reader_id, ref_id, now_s)
+                if r_val is None:
+                    raise ReadingError(
+                        f"reader {reader_id!r} has no fresh reading of "
+                        f"reference tag {ref_id!r} at t={now_s:.1f}s"
+                    )
+                ref[i, j] = r_val
+        return TrackingReading(
+            reference_rssi=ref,
+            tracking_rssi=trk,
+            reference_positions=self.reference_positions,
+            reader_ids=self.reader_ids,
+            tag_id=tracking_tag_id,
+            timestamp=now_s,
+        )
+
+    def coverage(self, now_s: float) -> dict[str, float]:
+        """Fraction of fresh (reader, reference-tag) series per reader.
+
+        Diagnostic used by examples to decide the warm-up time before the
+        first snapshot.
+        """
+        out = {}
+        for reader_id in self.reader_ids:
+            fresh = sum(
+                1
+                for ref_id in self.reference_ids
+                if self._smoothed(reader_id, ref_id, now_s) is not None
+            )
+            out[reader_id] = fresh / len(self.reference_ids)
+        return out

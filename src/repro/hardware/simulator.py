@@ -1,0 +1,199 @@
+"""The testbed simulator: wires tags, readers, channel and middleware.
+
+Each tag gets a recurring beacon event. On each beacon, every reader
+draws one RSSI sample from the channel (each with its own randomness),
+optionally degraded by active disturbances (a person walking through) and
+by tag-density interference offsets, and forwards detections to the
+middleware. The simulation is deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, SimulationError
+from ..rf.channel import RFChannel
+from ..rf.disturbance import HumanMovementDisturbance
+from ..rf.interference import TagInterferenceModel
+from ..types import TrackingReading
+from ..utils.rng import derive_rng
+from .events import EventQueue
+from .middleware import MiddlewareServer, SmoothingSpec
+from .readers import Reader
+from .tags import ActiveTag
+
+__all__ = ["TestbedSimulator"]
+
+
+class TestbedSimulator:
+    """Event-driven simulation of one RFID testbed.
+
+    Parameters
+    ----------
+    channel:
+        The frozen RF world. Its reader ordering must match ``readers``.
+    tags:
+        All tags (reference + tracking). Reference tags must have
+        ``is_reference=True`` and unique ids.
+    readers:
+        The readers, in the same order as the channel's reader positions.
+    smoothing:
+        Middleware smoothing config.
+    seed:
+        Seed for all per-reading randomness (fading draws, beacon jitter).
+    disturbances:
+        Optional human-movement disturbances active during the run.
+    interference:
+        Optional tag-density interference model; systematic offsets are
+        drawn once at start from the deployment geometry.
+    """
+
+    def __init__(
+        self,
+        channel: RFChannel,
+        tags: Sequence[ActiveTag],
+        readers: Sequence[Reader],
+        *,
+        smoothing: SmoothingSpec | None = None,
+        tracking_smoothing: SmoothingSpec | None = None,
+        seed: int = 0,
+        disturbances: Iterable[HumanMovementDisturbance] = (),
+        interference: TagInterferenceModel | None = None,
+    ):
+        if len(readers) != channel.n_readers:
+            raise ConfigurationError(
+                f"{len(readers)} readers supplied for a channel with "
+                f"{channel.n_readers} reader positions"
+            )
+        for i, (reader, pos) in enumerate(zip(readers, channel.reader_positions)):
+            if not np.allclose(reader.position, pos):
+                raise ConfigurationError(
+                    f"reader {i} position {reader.position} mismatches channel "
+                    f"position {tuple(pos)}"
+                )
+        ids = [t.tag_id for t in tags]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError("tag ids must be unique")
+        self.channel = channel
+        self.tags = list(tags)
+        self.readers = list(readers)
+        self.disturbances = tuple(disturbances)
+        self.interference = interference
+        self.seed = int(seed)
+
+        reference = {
+            t.tag_id: t.position for t in self.tags if t.is_reference
+        }
+        if not reference:
+            raise ConfigurationError("deployment has no reference tags")
+        self.middleware = MiddlewareServer(
+            reader_ids=[r.reader_id for r in self.readers],
+            reference_tags=reference,
+            smoothing=smoothing,
+            tracking_smoothing=tracking_smoothing,
+        )
+        self.queue = EventQueue()
+        self._beacon_rng = derive_rng(self.seed, "beacons")
+        self._sample_rng = derive_rng(self.seed, "samples")
+
+        self._interference_offsets: dict[str, float] = {}
+        if self.interference is not None:
+            positions = np.array([t.position for t in self.tags])
+            offsets = self.interference.systematic_offsets_db(
+                positions, derive_rng(self.seed, "interference")
+            )
+            self._interference_offsets = {
+                t.tag_id: float(o) for t, o in zip(self.tags, offsets)
+            }
+
+        # Stagger initial beacons uniformly over one interval so the
+        # middleware fills evenly instead of in bursts.
+        for tag in self.tags:
+            first = self._beacon_rng.uniform(0.0, tag.spec.beacon_interval_s)
+            self.queue.schedule(first, self._make_beacon_event(tag))
+
+    # -- simulation machinery ---------------------------------------------
+
+    def _make_beacon_event(self, tag: ActiveTag):
+        def fire() -> None:
+            if not tag.alive:
+                return  # battery dead: no beacon, no rescheduling
+            self._emit_beacon(tag)
+            tag.record_beacon()
+            if tag.alive:
+                self.queue.schedule_in(
+                    tag.next_beacon_delay(self._beacon_rng), fire
+                )
+
+        return fire
+
+    def _emit_beacon(self, tag: ActiveTag) -> None:
+        now = self.queue.clock.now
+        pos = np.asarray(tag.position)[np.newaxis, :]
+        # extra_* terms are attenuations; a positive tag offset boosts RSSI.
+        extra_base = self._interference_offsets.get(tag.tag_id, 0.0) - tag.offset_db
+        if self.interference is not None:
+            # Per-reading interference jitter (collisions are per frame).
+            positions = np.array([tag.position])
+            extra_base += float(
+                self.interference.reading_jitter_db(
+                    positions, self._sample_rng, n_reads=1
+                )[0, 0]
+            )
+        for k, reader in enumerate(self.readers):
+            extra = extra_base
+            for disturbance in self.disturbances:
+                extra += disturbance.attenuation_at(now, tag.position, reader.position)
+            rssi = float(
+                self.channel.sample_rssi(
+                    k, pos, self._sample_rng, n_reads=1, extra_attenuation_db=extra
+                )[0, 0]
+            )
+            record = reader.receive(tag.tag_id, now, rssi)
+            if record is not None:
+                self.middleware.ingest(record)
+
+    # -- public API ---------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self.queue.clock.now
+
+    def run_for(self, duration_s: float) -> int:
+        """Advance the simulation by ``duration_s``; returns events fired."""
+        if duration_s < 0:
+            raise SimulationError(f"duration must be >= 0, got {duration_s}")
+        return self.queue.run_until(self.now + duration_s)
+
+    def warm_up(self, *, min_coverage: float = 1.0, max_time_s: float = 120.0) -> float:
+        """Run until every reader has fresh readings of the reference grid.
+
+        Returns the simulation time reached. Raises
+        :class:`SimulationError` if coverage is still insufficient at
+        ``max_time_s`` (e.g. a reference tag is out of range of a reader).
+        """
+        step = 2.0
+        deadline = self.now + max_time_s
+        while self.now < deadline:
+            self.run_for(step)
+            coverage = self.middleware.coverage(self.now)
+            if all(c >= min_coverage for c in coverage.values()):
+                return self.now
+        raise SimulationError(
+            f"reference coverage below {min_coverage} after {max_time_s}s: "
+            f"{self.middleware.coverage(self.now)}"
+        )
+
+    def tag(self, tag_id: str) -> ActiveTag:
+        """Look up a tag by id."""
+        for t in self.tags:
+            if t.tag_id == tag_id:
+                return t
+        raise ConfigurationError(f"no tag with id {tag_id!r}")
+
+    def reading_for(self, tracking_tag_id: str) -> TrackingReading:
+        """Middleware snapshot for one tracking tag at the current time."""
+        return self.middleware.snapshot(tracking_tag_id, self.now)

@@ -1,0 +1,84 @@
+"""Per-reading fast fading.
+
+On top of the frozen spatial field (path loss + shadowing + multipath),
+each individual beacon reception fluctuates: small motions, orientation
+changes and receiver noise make repeated readings at the same position
+spread over several dB (the min/max whiskers of the paper's Fig. 3).
+
+We model the per-reading multiplicative power factor with a Rician
+distribution: a dominant (line-of-sight) component of relative power
+``K/(K+1)`` plus diffuse scatter ``1/(K+1)``. Large K means stable
+readings (open areas); small K means heavy fluctuation (cluttered rooms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from ..utils.validation import ensure_non_negative
+
+__all__ = ["FadingModel", "RicianFading", "NoFading"]
+
+
+@runtime_checkable
+class FadingModel(Protocol):
+    """Draws per-reading fading offsets in dB."""
+
+    def sample_db(
+        self, rng: np.random.Generator, shape: tuple[int, ...]
+    ) -> np.ndarray:
+        """Draw fading offsets (dB) of the given shape."""
+        ...
+
+
+@dataclass(frozen=True)
+class NoFading:
+    """Degenerate fading model: every reading equals the mean RSSI."""
+
+    def sample_db(
+        self, rng: np.random.Generator, shape: tuple[int, ...]
+    ) -> np.ndarray:
+        return np.zeros(shape)
+
+
+@dataclass(frozen=True)
+class RicianFading:
+    """Rician fast fading with K-factor ``k_factor``.
+
+    The instantaneous complex channel is
+    ``h = sqrt(K/(K+1)) + sqrt(1/(2(K+1))) * (g1 + j g2)`` with standard
+    normal ``g1, g2``; the dB offset is ``10 log10 |h|^2``. ``k_factor=0``
+    degenerates to Rayleigh fading.
+
+    ``floor_db`` truncates catastrophic fades: receivers time-average over
+    the beacon and never report a 40 dB null.
+    """
+
+    k_factor: float = 6.0
+    floor_db: float = -20.0
+
+    def __post_init__(self) -> None:
+        ensure_non_negative(self.k_factor, "k_factor")
+        if self.floor_db >= 0:
+            raise ValueError(f"floor_db must be negative, got {self.floor_db}")
+
+    def sample_db(
+        self, rng: np.random.Generator, shape: tuple[int, ...]
+    ) -> np.ndarray:
+        k = self.k_factor
+        los = np.sqrt(k / (k + 1.0))
+        scatter_scale = np.sqrt(1.0 / (2.0 * (k + 1.0)))
+        g = rng.standard_normal((*shape, 2)) * scatter_scale
+        h_re = los + g[..., 0]
+        h_im = g[..., 1]
+        power = h_re**2 + h_im**2
+        db = 10.0 * np.log10(np.maximum(power, 1e-12))
+        return np.maximum(db, self.floor_db)
+
+    def mean_offset_db(self, n_samples: int = 200_000, seed: int = 0) -> float:
+        """Monte-Carlo mean of the dB offset (diagnostic; ~0 for large K)."""
+        rng = np.random.default_rng(seed)
+        return float(self.sample_db(rng, (n_samples,)).mean())

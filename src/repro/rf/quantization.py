@@ -1,0 +1,80 @@
+"""The 8-level power quantization of the original LANDMARC equipment.
+
+The 2003 LANDMARC system could not read RSSI directly: the reader swept
+eight discrete power levels (level 1 = nearest detection range, level 8 =
+farthest) and reported the level at which a tag became detectable. The
+paper (§3.1) identifies this quantization as one of LANDMARC's original
+pitfalls — the improved RF Code equipment reports dBm directly.
+
+:class:`PowerLevelQuantizer` maps continuous RSSI into those discrete
+levels so the original equipment can be emulated for ablation: running
+LANDMARC on quantized readings quantifies how much accuracy the equipment
+upgrade alone recovered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["PowerLevelQuantizer"]
+
+
+@dataclass(frozen=True)
+class PowerLevelQuantizer:
+    """Quantize dBm RSSI into ``n_levels`` discrete power levels.
+
+    Parameters
+    ----------
+    strongest_dbm:
+        RSSI at or above this maps to level 1 (tag very close to the
+        reader).
+    weakest_dbm:
+        RSSI at or below this maps to ``n_levels`` (barely detectable).
+    n_levels:
+        Number of levels; 8 on the original equipment.
+
+    ``to_level`` returns integer levels; ``to_rssi`` maps a level back to
+    the centre dBm of its bin (what an algorithm consuming levels would
+    implicitly assume).
+    """
+
+    strongest_dbm: float = -55.0
+    weakest_dbm: float = -95.0
+    n_levels: int = 8
+
+    def __post_init__(self) -> None:
+        if not self.weakest_dbm < self.strongest_dbm:
+            raise ConfigurationError(
+                "weakest_dbm must be below strongest_dbm, got "
+                f"{self.weakest_dbm} vs {self.strongest_dbm}"
+            )
+        if self.n_levels < 2:
+            raise ConfigurationError(f"n_levels must be >= 2, got {self.n_levels}")
+
+    @property
+    def bin_width_db(self) -> float:
+        return (self.strongest_dbm - self.weakest_dbm) / self.n_levels
+
+    def to_level(self, rssi_dbm: np.ndarray | float) -> np.ndarray:
+        """Map RSSI (dBm) to levels 1..n_levels (1 = strongest)."""
+        rssi = np.asarray(rssi_dbm, dtype=np.float64)
+        # Level 1 covers [strongest - width, +inf); level n covers (-inf, ...].
+        steps = np.floor((self.strongest_dbm - rssi) / self.bin_width_db) + 1
+        return np.clip(steps, 1, self.n_levels).astype(np.int64)
+
+    def to_rssi(self, level: np.ndarray | int) -> np.ndarray:
+        """Map a level back to the centre dBm of its bin."""
+        lvl = np.asarray(level, dtype=np.float64)
+        if np.any((lvl < 1) | (lvl > self.n_levels)):
+            raise ConfigurationError(
+                f"levels must be within 1..{self.n_levels}"
+            )
+        return self.strongest_dbm - (lvl - 0.5) * self.bin_width_db
+
+    def roundtrip(self, rssi_dbm: np.ndarray | float) -> np.ndarray:
+        """Quantize then dequantize — what an old-equipment pipeline sees."""
+        return self.to_rssi(self.to_level(rssi_dbm))

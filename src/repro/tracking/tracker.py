@@ -1,0 +1,92 @@
+"""TagTracker: estimator + filter over a stream of readings.
+
+The tracker is estimator-agnostic (LANDMARC or VIRE via the
+:class:`~repro.types.Estimator` protocol) and resilient to dropped
+snapshots — when the middleware cannot produce a complete reading
+(weak frames, dead tag), the tracker records a dropout and lets the
+filter coast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..exceptions import ReadingError
+from ..types import Estimator, TrackingReading
+from .filters import NoFilter, PositionFilter
+
+__all__ = ["TrackPoint", "TagTracker"]
+
+
+@dataclass(frozen=True)
+class TrackPoint:
+    """One tracker output sample."""
+
+    time_s: float
+    raw: tuple[float, float] | None      # estimator output (None on dropout)
+    filtered: tuple[float, float] | None  # filter output (None before first fix)
+    dropout: bool
+
+
+@dataclass
+class TagTracker:
+    """Track one tag through a sequence of readings.
+
+    Parameters
+    ----------
+    estimator:
+        Any position estimator.
+    filter:
+        A position filter; defaults to pass-through.
+    """
+
+    estimator: Estimator
+    filter: PositionFilter = field(default_factory=NoFilter)
+
+    def __post_init__(self) -> None:
+        self.history: list[TrackPoint] = []
+
+    def ingest(self, time_s: float, reading: TrackingReading | None) -> TrackPoint:
+        """Process one snapshot (or None for an explicit dropout)."""
+        raw: tuple[float, float] | None = None
+        dropout = reading is None
+        if reading is not None:
+            raw = self.estimator.estimate(reading).position
+        filtered = self.filter.update(time_s, raw)
+        point = TrackPoint(
+            time_s=float(time_s), raw=raw, filtered=filtered, dropout=dropout
+        )
+        self.history.append(point)
+        return point
+
+    def ingest_from(
+        self,
+        time_s: float,
+        snapshot_fn: Callable[[], TrackingReading],
+    ) -> TrackPoint:
+        """Pull a snapshot from a callable, converting ReadingError into a
+        dropout (the middleware raises when a reading is incomplete)."""
+        try:
+            reading = snapshot_fn()
+        except ReadingError:
+            reading = None
+        return self.ingest(time_s, reading)
+
+    def fixes(self, *, filtered: bool = True) -> list[tuple[float, tuple[float, float]]]:
+        """``(time, position)`` pairs for trajectory evaluation."""
+        out = []
+        for p in self.history:
+            pos = p.filtered if filtered else p.raw
+            if pos is not None:
+                out.append((p.time_s, pos))
+        return out
+
+    @property
+    def dropout_count(self) -> int:
+        return sum(1 for p in self.history if p.dropout)
+
+    def reset(self) -> None:
+        """Clear history and filter state (e.g. when reassigning the tag)."""
+        self.history.clear()
+        self.filter.reset()

@@ -1,0 +1,148 @@
+"""Ground-truth trajectories and trajectory-level error metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["Trajectory", "TrajectoryError", "evaluate_track"]
+
+
+@dataclass(frozen=True)
+class Trajectory:
+    """A timed piecewise-linear ground-truth path.
+
+    Parameters
+    ----------
+    times_s:
+        Strictly increasing timestamps of the waypoints.
+    waypoints:
+        ``(n, 2)`` coordinates; the tag moves linearly between
+        consecutive waypoints and stands still before the first / after
+        the last timestamp.
+    """
+
+    times_s: tuple[float, ...]
+    waypoints: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        times = tuple(float(t) for t in self.times_s)
+        points = tuple((float(x), float(y)) for x, y in self.waypoints)
+        if len(times) != len(points):
+            raise ConfigurationError(
+                f"{len(times)} timestamps for {len(points)} waypoints"
+            )
+        if len(times) < 1:
+            raise ConfigurationError("trajectory needs at least one waypoint")
+        if any(t1 >= t2 for t1, t2 in zip(times, times[1:])):
+            raise ConfigurationError("timestamps must be strictly increasing")
+        if not all(np.isfinite(t) for t in times) or not all(
+            np.isfinite(x) and np.isfinite(y) for x, y in points
+        ):
+            raise ConfigurationError("trajectory contains non-finite values")
+        object.__setattr__(self, "times_s", times)
+        object.__setattr__(self, "waypoints", points)
+
+    @property
+    def start_time_s(self) -> float:
+        return self.times_s[0]
+
+    @property
+    def end_time_s(self) -> float:
+        return self.times_s[-1]
+
+    @property
+    def length_m(self) -> float:
+        """Total path length."""
+        pts = np.asarray(self.waypoints)
+        if pts.shape[0] < 2:
+            return 0.0
+        return float(np.sum(np.linalg.norm(np.diff(pts, axis=0), axis=1)))
+
+    def position_at(self, time_s: float) -> tuple[float, float]:
+        """True position at a given time (clamped at the endpoints)."""
+        times = np.asarray(self.times_s)
+        pts = np.asarray(self.waypoints)
+        if time_s <= times[0]:
+            p = pts[0]
+        elif time_s >= times[-1]:
+            p = pts[-1]
+        else:
+            i = int(np.searchsorted(times, time_s, side="right")) - 1
+            frac = (time_s - times[i]) / (times[i + 1] - times[i])
+            p = pts[i] + frac * (pts[i + 1] - pts[i])
+        return (float(p[0]), float(p[1]))
+
+    def sample(self, interval_s: float) -> list[tuple[float, tuple[float, float]]]:
+        """``(time, position)`` pairs every ``interval_s`` along the path."""
+        if interval_s <= 0:
+            raise ConfigurationError(f"interval must be positive, got {interval_s}")
+        times = np.arange(self.start_time_s, self.end_time_s + 1e-9, interval_s)
+        return [(float(t), self.position_at(float(t))) for t in times]
+
+    @staticmethod
+    def constant_speed(
+        waypoints: Sequence[tuple[float, float]],
+        speed_mps: float,
+        start_time_s: float = 0.0,
+    ) -> "Trajectory":
+        """Build a trajectory walking the waypoints at a constant speed."""
+        if speed_mps <= 0:
+            raise ConfigurationError(f"speed must be positive, got {speed_mps}")
+        pts = [np.asarray(p, dtype=np.float64) for p in waypoints]
+        if len(pts) < 2:
+            raise ConfigurationError("need at least two waypoints")
+        times = [float(start_time_s)]
+        for a, b in zip(pts, pts[1:]):
+            step = float(np.linalg.norm(b - a))
+            if step <= 0:
+                raise ConfigurationError("consecutive waypoints must differ")
+            times.append(times[-1] + step / speed_mps)
+        return Trajectory(
+            times_s=tuple(times),
+            waypoints=tuple((float(p[0]), float(p[1])) for p in pts),
+        )
+
+
+@dataclass(frozen=True)
+class TrajectoryError:
+    """Error statistics of a fix sequence against a trajectory."""
+
+    rmse_m: float
+    mean_m: float
+    p90_m: float
+    max_m: float
+    n_fixes: int
+
+
+def evaluate_track(
+    trajectory: Trajectory,
+    fixes: Sequence[tuple[float, tuple[float, float]]],
+) -> TrajectoryError:
+    """Compare timestamped position fixes against the ground truth.
+
+    Parameters
+    ----------
+    trajectory:
+        The true path.
+    fixes:
+        ``(time_s, (x, y))`` pairs, e.g. from :class:`~repro.tracking.tracker.TagTracker`.
+    """
+    if not fixes:
+        raise ConfigurationError("no fixes to evaluate")
+    errors = []
+    for t, (x, y) in fixes:
+        tx, ty = trajectory.position_at(float(t))
+        errors.append(np.hypot(x - tx, y - ty))
+    arr = np.asarray(errors)
+    return TrajectoryError(
+        rmse_m=float(np.sqrt(np.mean(arr**2))),
+        mean_m=float(arr.mean()),
+        p90_m=float(np.percentile(arr, 90)),
+        max_m=float(arr.max()),
+        n_fixes=int(arr.size),
+    )

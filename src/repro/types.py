@@ -1,0 +1,195 @@
+"""Shared data types for readings and estimates.
+
+The whole library converses in terms of two records:
+
+* :class:`TrackingReading` — one localization input: the RSSI of the
+  tracking tag and of every real reference tag, as seen by each reader.
+  This is what the middleware hands to an estimator, and what both
+  LANDMARC and VIRE consume.
+* :class:`EstimateResult` — one localization output: the estimated
+  coordinate plus optional diagnostics.
+
+Estimators implement the :class:`Estimator` protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from .exceptions import ReadingError
+
+__all__ = [
+    "TrackingReading",
+    "EstimateResult",
+    "Estimator",
+    "estimation_error",
+]
+
+
+@dataclass(frozen=True)
+class TrackingReading:
+    """Per-reader RSSI snapshot used as the input of a location estimate.
+
+    Parameters
+    ----------
+    reference_rssi:
+        Array of shape ``(K, n_refs)``: RSSI (dBm) of each real reference
+        tag as measured by each of the ``K`` readers.
+    tracking_rssi:
+        Array of shape ``(K,)``: RSSI (dBm) of the tracking tag at each
+        reader.
+    reference_positions:
+        Array of shape ``(n_refs, 2)``: known coordinates (metres) of the
+        reference tags, in the same order as the columns of
+        ``reference_rssi``.
+    reader_ids:
+        Optional identifiers for the readers (defaults to ``0..K-1``).
+    tag_id:
+        Optional identifier of the tracking tag.
+    timestamp:
+        Optional simulation/wall-clock time of the snapshot (seconds).
+    """
+
+    reference_rssi: np.ndarray
+    tracking_rssi: np.ndarray
+    reference_positions: np.ndarray
+    reader_ids: tuple[Any, ...] | None = None
+    tag_id: Any = None
+    timestamp: float | None = None
+
+    def __post_init__(self) -> None:
+        ref = np.asarray(self.reference_rssi, dtype=np.float64)
+        trk = np.asarray(self.tracking_rssi, dtype=np.float64)
+        pos = np.asarray(self.reference_positions, dtype=np.float64)
+        object.__setattr__(self, "reference_rssi", ref)
+        object.__setattr__(self, "tracking_rssi", trk)
+        object.__setattr__(self, "reference_positions", pos)
+        if ref.ndim != 2:
+            raise ReadingError(
+                f"reference_rssi must be 2-D (K, n_refs), got shape {ref.shape}"
+            )
+        if trk.ndim != 1:
+            raise ReadingError(
+                f"tracking_rssi must be 1-D (K,), got shape {trk.shape}"
+            )
+        if ref.shape[0] != trk.shape[0]:
+            raise ReadingError(
+                "reader count mismatch: reference_rssi has "
+                f"{ref.shape[0]} readers, tracking_rssi has {trk.shape[0]}"
+            )
+        if pos.ndim != 2 or pos.shape[1] != 2:
+            raise ReadingError(
+                f"reference_positions must have shape (n_refs, 2), got {pos.shape}"
+            )
+        if pos.shape[0] != ref.shape[1]:
+            raise ReadingError(
+                "reference tag count mismatch: reference_rssi has "
+                f"{ref.shape[1]} tags, reference_positions has {pos.shape[0]}"
+            )
+        if not np.all(np.isfinite(ref)):
+            raise ReadingError("reference_rssi contains non-finite values")
+        if not np.all(np.isfinite(trk)):
+            raise ReadingError("tracking_rssi contains non-finite values")
+        if not np.all(np.isfinite(pos)):
+            raise ReadingError("reference_positions contains non-finite values")
+        if self.reader_ids is not None:
+            ids = tuple(self.reader_ids)
+            if len(ids) != trk.shape[0]:
+                raise ReadingError(
+                    f"reader_ids has {len(ids)} entries for {trk.shape[0]} readers"
+                )
+            object.__setattr__(self, "reader_ids", ids)
+
+    @property
+    def n_readers(self) -> int:
+        """Number of readers ``K`` in this snapshot."""
+        return int(self.tracking_rssi.shape[0])
+
+    @property
+    def n_references(self) -> int:
+        """Number of real reference tags in this snapshot."""
+        return int(self.reference_rssi.shape[1])
+
+    def subset_readers(self, indices: Sequence[int]) -> "TrackingReading":
+        """Return a new reading restricted to the given reader indices.
+
+        Useful for reader-count ablations and for failure-injection tests
+        (dropping a reader).
+        """
+        idx = np.asarray(indices, dtype=np.intp)
+        if idx.size == 0:
+            raise ReadingError("cannot build a reading with zero readers")
+        ids = None
+        if self.reader_ids is not None:
+            ids = tuple(self.reader_ids[int(i)] for i in idx)
+        return TrackingReading(
+            reference_rssi=self.reference_rssi[idx, :],
+            tracking_rssi=self.tracking_rssi[idx],
+            reference_positions=self.reference_positions,
+            reader_ids=ids,
+            tag_id=self.tag_id,
+            timestamp=self.timestamp,
+        )
+
+
+@dataclass(frozen=True)
+class EstimateResult:
+    """The output of one location estimate.
+
+    Attributes
+    ----------
+    position:
+        Estimated ``(x, y)`` coordinate in metres.
+    estimator:
+        Short name of the estimator that produced this result.
+    diagnostics:
+        Free-form per-estimator diagnostics (selected cell count, threshold
+        used, neighbour indices, ...). Never required for correctness.
+    """
+
+    position: tuple[float, float]
+    estimator: str = ""
+    diagnostics: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def x(self) -> float:
+        return float(self.position[0])
+
+    @property
+    def y(self) -> float:
+        return float(self.position[1])
+
+    def error_to(self, true_position: Sequence[float]) -> float:
+        """Euclidean estimation error ``e`` to the true coordinate (paper §4.3)."""
+        return estimation_error(self.position, true_position)
+
+
+def estimation_error(
+    estimated: Sequence[float], true_position: Sequence[float]
+) -> float:
+    """Euclidean distance between an estimate and the ground-truth position.
+
+    This is the paper's error metric ``e = sqrt((x-x0)^2 + (y-y0)^2)``.
+    """
+    est = np.asarray(estimated, dtype=np.float64)
+    true = np.asarray(true_position, dtype=np.float64)
+    if est.shape != (2,) or true.shape != (2,):
+        raise ReadingError(
+            f"positions must be 2-vectors, got shapes {est.shape} and {true.shape}"
+        )
+    return float(np.hypot(est[0] - true[0], est[1] - true[1]))
+
+
+@runtime_checkable
+class Estimator(Protocol):
+    """Protocol implemented by every localization estimator in this package."""
+
+    #: short human-readable name used in reports ("LANDMARC", "VIRE", ...)
+    name: str
+
+    def estimate(self, reading: TrackingReading) -> EstimateResult:
+        """Estimate the tracking tag's position from one reading."""
+        ...

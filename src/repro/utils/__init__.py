@@ -1,0 +1,23 @@
+"""Small shared utilities: RNG management, validation, arrays, ASCII plots."""
+
+from .rng import derive_rng, derive_seed, spawn_rngs
+from .validation import (
+    ensure_finite,
+    ensure_in_range,
+    ensure_positive,
+    ensure_positive_int,
+)
+from .arrays import as_point, as_points, pairwise_distances
+
+__all__ = [
+    "derive_rng",
+    "derive_seed",
+    "spawn_rngs",
+    "ensure_finite",
+    "ensure_in_range",
+    "ensure_positive",
+    "ensure_positive_int",
+    "as_point",
+    "as_points",
+    "pairwise_distances",
+]

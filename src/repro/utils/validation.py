@@ -1,0 +1,83 @@
+"""Argument validation helpers.
+
+These raise :class:`~repro.exceptions.ConfigurationError` with a uniform
+message format so constructor validation stays one-line per parameter.
+"""
+
+from __future__ import annotations
+
+from numbers import Integral, Real
+from typing import Any
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "ensure_positive",
+    "ensure_positive_int",
+    "ensure_non_negative",
+    "ensure_in_range",
+    "ensure_finite",
+]
+
+
+def ensure_positive(value: Any, name: str) -> float:
+    """Validate ``value > 0`` and return it as a float."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be a number, got {value!r}")
+    v = float(value)
+    if not np.isfinite(v) or v <= 0.0:
+        raise ConfigurationError(f"{name} must be positive and finite, got {value!r}")
+    return v
+
+
+def ensure_non_negative(value: Any, name: str) -> float:
+    """Validate ``value >= 0`` and return it as a float."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be a number, got {value!r}")
+    v = float(value)
+    if not np.isfinite(v) or v < 0.0:
+        raise ConfigurationError(
+            f"{name} must be non-negative and finite, got {value!r}"
+        )
+    return v
+
+
+def ensure_positive_int(value: Any, name: str, minimum: int = 1) -> int:
+    """Validate that ``value`` is an integer ``>= minimum`` and return it."""
+    if isinstance(value, bool) or not isinstance(value, Integral):
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+    v = int(value)
+    if v < minimum:
+        raise ConfigurationError(f"{name} must be >= {minimum}, got {v}")
+    return v
+
+
+def ensure_in_range(
+    value: Any,
+    name: str,
+    low: float,
+    high: float,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Validate ``low <= value <= high`` (or strict) and return it as float."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be a number, got {value!r}")
+    v = float(value)
+    ok = (low <= v <= high) if inclusive else (low < v < high)
+    if not np.isfinite(v) or not ok:
+        bracket = "[]" if inclusive else "()"
+        raise ConfigurationError(
+            f"{name} must be in {bracket[0]}{low}, {high}{bracket[1]}, got {value!r}"
+        )
+    return v
+
+
+def ensure_finite(array: Any, name: str) -> np.ndarray:
+    """Validate that an array is entirely finite; return it as float64."""
+    arr = np.asarray(array, dtype=np.float64)
+    if not np.all(np.isfinite(arr)):
+        raise ConfigurationError(f"{name} contains non-finite values")
+    return arr

@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_choices(self):
+        args = build_parser().parse_args(["figure", "fig6", "--trials", "3"])
+        assert args.name == "fig6"
+        assert args.trials == 3
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.env == "Env3"
+        assert not args.all_baselines
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+
+class TestCommands:
+    def test_figure_fig4(self, capsys):
+        assert main(["figure", "fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "interference" in out
+
+    def test_figure_fig2b_small(self, capsys):
+        assert main(["figure", "fig2b", "--trials", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Env3" in out
+
+    def test_compare_small(self, capsys):
+        assert main(["compare", "--env", "Env1", "--trials", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "LANDMARC" in out
+        assert "95% CI" in out
+
+    def test_compare_all_baselines(self, capsys):
+        assert main(
+            ["compare", "--env", "Env1", "--trials", "2", "--all-baselines"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Nearest" in out
+
+    @pytest.mark.slow
+    def test_track_runs(self, capsys):
+        assert main(["track", "--env", "Env1"]) == 0
+        out = capsys.readouterr().out
+        assert "RMSE" in out
+
+    @pytest.mark.slow
+    def test_report_no_sweeps(self, capsys):
+        assert main(["report", "--trials", "2", "--no-sweeps"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2(b)" in out
+        assert "Statistical summary" in out
+        assert "Fig. 7" not in out

@@ -1,0 +1,45 @@
+"""Extra CLI coverage: heatmap command, figure variants, error paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestHeatmapCommand:
+    def test_heatmap_runs(self, capsys):
+        assert main(
+            ["heatmap", "--env", "Env1", "--estimator", "landmarc",
+             "--resolution", "4", "--trials", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "LANDMARC mean error" in out
+        assert "worst:" in out
+
+    def test_heatmap_softvire(self, capsys):
+        assert main(
+            ["heatmap", "--env", "Env1", "--estimator", "softvire",
+             "--resolution", "3", "--trials", "1"]
+        ) == 0
+        assert "SoftVIRE" in capsys.readouterr().out
+
+    def test_unknown_estimator_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["heatmap", "--estimator", "magic"])
+
+
+class TestFigureCommands:
+    def test_fig3(self, capsys):
+        assert main(["figure", "fig3"]) == 0
+        assert "theoretical" in capsys.readouterr().out
+
+    @pytest.mark.slow
+    def test_fig7_small(self, capsys):
+        assert main(["figure", "fig7", "--trials", "2"]) == 0
+        assert "N²" in capsys.readouterr().out
+
+    @pytest.mark.slow
+    def test_fig8_small(self, capsys):
+        assert main(["figure", "fig8", "--trials", "2"]) == 0
+        assert "threshold" in capsys.readouterr().out

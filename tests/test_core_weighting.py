@@ -1,0 +1,157 @@
+"""Tests for the w1/w2 weighting of surviving regions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.weighting import (
+    combine_weights,
+    compute_w1,
+    compute_w2,
+    connected_components,
+)
+from repro.exceptions import ConfigurationError, EstimationError
+
+
+class TestW1:
+    def test_inverse_smaller_deviation_bigger_weight(self):
+        dev = np.array([[[1.0, 4.0]]])
+        sel = np.array([[True, True]])
+        w1 = compute_w1(dev, sel, mode="inverse")
+        assert w1[0, 0] > w1[0, 1] > 0
+
+    def test_zero_outside_selection(self):
+        dev = np.ones((1, 2, 2))
+        sel = np.array([[True, False], [False, False]])
+        w1 = compute_w1(dev, sel)
+        assert w1[0, 0] > 0
+        assert w1[0, 1] == 0 and w1[1, 0] == 0 and w1[1, 1] == 0
+
+    def test_uniform_mode(self):
+        dev = np.random.default_rng(0).uniform(0, 5, (2, 3, 3))
+        sel = np.ones((3, 3), dtype=bool)
+        w1 = compute_w1(dev, sel, mode="uniform")
+        np.testing.assert_array_equal(w1, 1.0)
+
+    def test_paper_literal_requires_virtual_rssi(self):
+        dev = np.ones((1, 2, 2))
+        sel = np.ones((2, 2), dtype=bool)
+        with pytest.raises(ConfigurationError, match="virtual_rssi"):
+            compute_w1(dev, sel, mode="paper-literal")
+
+    def test_paper_literal_inverse_of_relative_deviation(self):
+        dev = np.array([[[2.0, 2.0]]])
+        virtual = np.array([[[-40.0, -80.0]]])
+        sel = np.array([[True, True]])
+        w1 = compute_w1(dev, sel, mode="paper-literal", virtual_rssi=virtual)
+        # Same absolute deviation, but relative to -80 it is smaller, so
+        # the -80 cell gets the bigger weight.
+        assert w1[0, 1] > w1[0, 0]
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compute_w1(np.ones((1, 1, 1)), np.ones((1, 1), dtype=bool), mode="x")
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compute_w1(np.ones((1, 2, 2)), np.ones((3, 3), dtype=bool))
+
+
+class TestConnectedComponents:
+    def test_two_clusters_4conn(self):
+        sel = np.array([
+            [1, 1, 0, 0],
+            [0, 0, 0, 1],
+            [0, 0, 0, 1],
+        ], dtype=bool)
+        labels, n = connected_components(sel, connectivity=4)
+        assert n == 2
+        assert labels[0, 0] == labels[0, 1]
+        assert labels[1, 3] == labels[2, 3]
+        assert labels[0, 0] != labels[1, 3]
+
+    def test_diagonal_joins_with_8conn(self):
+        sel = np.array([[1, 0], [0, 1]], dtype=bool)
+        _, n4 = connected_components(sel, connectivity=4)
+        _, n8 = connected_components(sel, connectivity=8)
+        assert n4 == 2
+        assert n8 == 1
+
+    def test_invalid_connectivity(self):
+        with pytest.raises(ConfigurationError):
+            connected_components(np.ones((2, 2), dtype=bool), connectivity=6)
+
+
+class TestW2:
+    def test_bigger_cluster_bigger_weight(self):
+        """The paper's Fig. 5 example: a 4-cell cluster outweighs a
+        2-cell cluster."""
+        sel = np.zeros((5, 5), dtype=bool)
+        sel[0, 0:2] = True        # 2-cell cluster
+        sel[3:5, 3:5] = True      # 4-cell cluster
+        w2 = compute_w2(sel)
+        assert w2[3, 3] == 4.0
+        assert w2[0, 0] == 2.0
+        assert w2[1, 1] == 0.0
+
+    def test_empty_selection_all_zero(self):
+        w2 = compute_w2(np.zeros((3, 3), dtype=bool))
+        np.testing.assert_array_equal(w2, 0.0)
+
+    def test_uniform_within_cluster(self):
+        sel = np.zeros((4, 4), dtype=bool)
+        sel[1:3, 1:3] = True
+        w2 = compute_w2(sel)
+        vals = w2[sel]
+        assert np.all(vals == vals[0])
+
+    @given(
+        arrays(np.bool_, (6, 6), elements=st.booleans()),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_w2_counts_sum_to_squared_sizes(self, sel):
+        """Sum of per-cell cluster sizes equals sum of size^2 over clusters."""
+        labels, n = connected_components(sel)
+        w2 = compute_w2(sel)
+        expected = sum(
+            float(np.sum(labels == i)) ** 2 for i in range(1, n + 1)
+        )
+        assert w2.sum() == pytest.approx(expected)
+
+
+class TestCombine:
+    def test_normalized_to_one(self):
+        w1 = np.array([[1.0, 2.0], [0.0, 3.0]])
+        w2 = np.array([[2.0, 2.0], [0.0, 1.0]])
+        w = combine_weights(w1, w2)
+        assert w.sum() == pytest.approx(1.0)
+        assert w[1, 0] == 0.0
+
+    def test_w2_none_uses_w1_only(self):
+        w1 = np.array([[1.0, 3.0]])
+        w = combine_weights(w1, None)
+        np.testing.assert_allclose(w, [[0.25, 0.75]])
+
+    def test_empty_support_raises(self):
+        with pytest.raises(EstimationError):
+            combine_weights(np.zeros((2, 2)), None)
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ConfigurationError):
+            combine_weights(np.array([[-1.0, 2.0]]), None)
+
+    @given(
+        arrays(np.float64, (4, 4), elements=st.floats(0.0, 10.0)),
+        arrays(np.float64, (4, 4), elements=st.floats(0.0, 10.0)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_convexity_property(self, w1, w2):
+        if (w1 * w2).sum() <= 0:
+            return
+        w = combine_weights(w1, w2)
+        assert w.sum() == pytest.approx(1.0)
+        assert np.all(w >= 0)

@@ -1,0 +1,162 @@
+"""Tests for the figure regenerators (reduced trial counts for speed)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.sweeps import (
+    boundary_compensation_study,
+    format_sweep,
+    sweep_equipment,
+    sweep_grid_spacing,
+    sweep_interpolation,
+    sweep_reader_count,
+    sweep_weighting,
+)
+
+pytestmark = pytest.mark.slow
+
+
+class TestFig2b:
+    def test_structure_and_formatting(self):
+        r = figures.fig2b(n_trials=3)
+        assert set(r.per_env) == {"Env1", "Env2", "Env3"}
+        assert set(r.per_env["Env1"]) == set(range(1, 10))
+        out = figures.format_fig2b(r)
+        assert "Fig. 2(b)" in out
+
+    def test_env3_harder_than_env1(self):
+        r = figures.fig2b(n_trials=6)
+        avg1 = np.mean(list(r.per_env["Env1"].values()))
+        avg3 = np.mean(list(r.per_env["Env3"].values()))
+        assert avg3 > avg1
+
+
+class TestFig3:
+    def test_structure(self):
+        r = figures.fig3(n_reads=10)
+        assert r.distances_m.shape == r.measured_mean.shape
+        assert np.all(r.measured_min <= r.measured_mean + 1e-9)
+        assert np.all(r.measured_mean <= r.measured_max + 1e-9)
+
+    def test_overall_decreasing_trend(self):
+        r = figures.fig3(n_reads=10)
+        # Mean over the first quarter well above mean over the last quarter.
+        q = len(r.distances_m) // 4
+        assert r.measured_mean[:q].mean() > r.measured_mean[-q:].mean() + 10
+
+    def test_formatting(self):
+        out = figures.format_fig3(figures.fig3(n_reads=5))
+        assert "theoretical" in out
+
+
+class TestFig4:
+    def test_interference_spread_dominates(self):
+        r = figures.fig4(n_tags=20)
+        assert np.ptp(r.interference_dbm) > 2 * np.ptp(r.independent_dbm)
+
+    def test_tag_count_respected(self):
+        r = figures.fig4(n_tags=12)
+        assert r.independent_dbm.shape == (12,)
+
+    def test_formatting(self):
+        out = figures.format_fig4(figures.fig4(n_tags=5))
+        assert "interference" in out
+
+
+class TestFig6:
+    def test_vire_wins_on_average_everywhere(self):
+        r = figures.fig6(n_trials=8)
+        for env in ("Env1", "Env2", "Env3"):
+            lm = np.mean(list(r.landmarc[env].values()))
+            vi = np.mean(list(r.vire[env].values()))
+            assert vi < lm, env
+
+    def test_reductions_properties(self):
+        r = figures.fig6(n_trials=8)
+        reds = r.reductions("Env3")
+        assert set(reds) == set(range(1, 10))
+
+    def test_non_boundary_average(self):
+        r = figures.fig6(n_trials=4)
+        avg = r.non_boundary_average("Env1", "VIRE")
+        per_tag = [r.vire["Env1"][t] for t in (1, 2, 3, 4, 5)]
+        assert avg == pytest.approx(np.mean(per_tag))
+
+    def test_formatting(self):
+        out = figures.format_fig6(figures.fig6(n_trials=2))
+        assert "VIRE vs LANDMARC" in out
+        assert "avg(1-5)" in out
+
+
+class TestFig7:
+    def test_error_decreases_then_flattens(self):
+        r = figures.fig7(
+            total_tag_targets=(16, 100, 900), n_trials=5
+        )
+        assert r.mean_error[0] > r.mean_error[1]
+        # Beyond the knee the change is small.
+        assert abs(r.mean_error[2] - r.mean_error[1]) < 0.5 * (
+            r.mean_error[0] - r.mean_error[1]
+        )
+
+    def test_totals_reported(self):
+        r = figures.fig7(total_tag_targets=(16, 100), n_trials=2)
+        assert list(r.total_tags) == [16, 100]
+
+    def test_formatting(self):
+        out = figures.format_fig7(
+            figures.fig7(total_tag_targets=(16, 100), n_trials=2)
+        )
+        assert "Fig. 7" in out
+
+
+class TestFig8:
+    def test_u_shape(self):
+        r = figures.fig8(
+            thresholds_db=(0.25, 2.5, 8.0), n_trials=6
+        )
+        tiny, mid, huge = r.mean_error
+        assert mid < tiny
+        assert mid < huge
+
+    def test_formatting(self):
+        out = figures.format_fig8(
+            figures.fig8(thresholds_db=(1.0, 2.0), n_trials=2)
+        )
+        assert "threshold" in out
+
+
+class TestSweeps:
+    def test_interpolation_sweep_all_variants(self):
+        r = sweep_interpolation(n_trials=3)
+        assert set(r.values) == {"linear", "polynomial", "spline"}
+        assert all(v > 0 for v in r.values.values())
+
+    def test_reader_count_more_is_better(self):
+        r = sweep_reader_count(reader_counts=(2, 4), n_trials=6)
+        assert r.values["4 readers"] < r.values["2 readers"]
+
+    def test_grid_spacing_sweep(self):
+        r = sweep_grid_spacing(spacing_factors=(1.0, 1.5), n_trials=3)
+        assert len(r.values) == 2
+
+    def test_weighting_sweep_variants(self):
+        r = sweep_weighting(n_trials=3)
+        assert "unweighted" in r.values
+        assert "w1 paper-literal + w2" in r.values
+
+    def test_equipment_quantization_hurts(self):
+        r = sweep_equipment(n_trials=6)
+        assert r.values["8 power levels"] > r.values["direct RSSI"]
+
+    def test_boundary_study_structure(self):
+        r = boundary_compensation_study(n_trials=3)
+        assert r.plain_boundary > 0
+        assert r.compensated_boundary > 0
+
+    def test_format_sweep(self):
+        out = format_sweep(sweep_interpolation(n_trials=2))
+        assert "interpolation" in out

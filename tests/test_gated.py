@@ -1,0 +1,117 @@
+"""Tests for the motion-gated VIRE estimator."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import VIREConfig, VIREEstimator, paper_testbed_grid
+from repro.exceptions import ConfigurationError
+from repro.experiments.measurement import MeasurementSpec, TrialSampler
+from repro.tracking.gated import GatedVIREEstimator
+
+from .conftest import make_clean_environment
+
+
+def reading_at(position, *, timestamp=None, seed=0):
+    sampler = TrialSampler(
+        make_clean_environment(),
+        paper_testbed_grid(),
+        seed=seed,
+        measurement=MeasurementSpec(n_reads=1),
+    )
+    reading = sampler.reading_for(position)
+    if timestamp is None:
+        return reading
+    return dataclasses.replace(reading, timestamp=timestamp)
+
+
+class TestGatedVIRE:
+    def test_matches_plain_vire_without_timestamps(self, grid):
+        gated = GatedVIREEstimator(grid, VIREConfig(target_total_tags=900))
+        plain = VIREEstimator(grid, VIREConfig(target_total_tags=900))
+        reading = reading_at((1.5, 1.5))
+        g = gated.estimate(reading)
+        p = plain.estimate(reading)
+        assert g.position == pytest.approx(p.position, abs=1e-9)
+        assert g.diagnostics["gated"] is False
+
+    def test_gate_engages_on_second_fix(self, grid):
+        gated = GatedVIREEstimator(grid, VIREConfig(target_total_tags=900))
+        gated.estimate(reading_at((1.5, 1.5), timestamp=0.0))
+        second = gated.estimate(reading_at((1.6, 1.5), timestamp=2.0))
+        assert second.diagnostics["gated"] is True
+
+    def test_gate_restricts_selection(self, grid):
+        config = VIREConfig(target_total_tags=900, threshold_margin_db=3.0)
+        gated = GatedVIREEstimator(grid, config, v_max_mps=0.2, slack_m=0.2)
+        plain = VIREEstimator(grid, config)
+        gated.estimate(reading_at((1.5, 1.5), timestamp=0.0))
+        reading = reading_at((1.5, 1.5), timestamp=1.0, seed=1)
+        g = gated.estimate(reading)
+        p = plain.estimate(reading)
+        assert g.diagnostics["n_selected"] <= p.diagnostics["n_selected"]
+
+    def test_gate_conflict_falls_back_to_radio(self, grid):
+        gated = GatedVIREEstimator(
+            grid, VIREConfig(target_total_tags=900),
+            v_max_mps=0.01, slack_m=0.01,  # absurdly tight gate
+        )
+        gated.estimate(reading_at((0.5, 0.5), timestamp=0.0))
+        # Tag "teleports" across the grid; the tight gate cannot contain it.
+        far = gated.estimate(reading_at((2.5, 2.5), timestamp=1.0))
+        assert gated.gate_fallbacks >= 1
+        # The radio evidence wins: the fix lands near the true position.
+        assert far.error_to((2.5, 2.5)) < 0.5
+
+    def test_backwards_time_rejected(self, grid):
+        gated = GatedVIREEstimator(grid, VIREConfig(target_total_tags=900))
+        gated.estimate(reading_at((1.5, 1.5), timestamp=5.0))
+        with pytest.raises(ConfigurationError, match="backwards"):
+            gated.estimate(reading_at((1.5, 1.5), timestamp=4.0))
+
+    def test_reset_clears_state(self, grid):
+        gated = GatedVIREEstimator(grid, VIREConfig(target_total_tags=900))
+        gated.estimate(reading_at((1.5, 1.5), timestamp=0.0))
+        gated.reset()
+        res = gated.estimate(reading_at((2.5, 2.5), timestamp=0.0))
+        assert res.diagnostics["gated"] is False
+        assert gated.gate_fallbacks == 0
+
+    def test_invalid_parameters(self, grid):
+        with pytest.raises(Exception):
+            GatedVIREEstimator(grid, v_max_mps=0.0)
+        with pytest.raises(ConfigurationError):
+            GatedVIREEstimator(grid, slack_m=-1.0)
+
+    @pytest.mark.slow
+    def test_gating_does_not_hurt_noisy_tracking(self, grid):
+        """With a gate sized generously for the motion (v_max and slack
+        above the true values), gated VIRE tracks a slow trajectory at
+        parity with plain VIRE. The gate's job is robustness (no
+        teleporting fixes), not mean accuracy — a too-tight gate locks in
+        autocorrelated errors, which is why the defaults are generous."""
+        from repro.rf import env3
+
+        sampler_env = env3()
+        route = [(0.8 + 0.2 * i, 1.0 + 0.15 * i) for i in range(8)]
+        errs_plain, errs_gated = [], []
+        for seed in range(5):
+            sampler = TrialSampler(
+                sampler_env, grid, seed=seed,
+                measurement=MeasurementSpec(n_reads=5),
+            )
+            plain = VIREEstimator(grid, VIREConfig(target_total_tags=900))
+            gated = GatedVIREEstimator(
+                grid, VIREConfig(target_total_tags=900),
+                v_max_mps=0.6, slack_m=0.8,
+            )
+            for t, pos in enumerate(route):
+                reading = dataclasses.replace(
+                    sampler.reading_for(pos), timestamp=float(t)
+                )
+                errs_plain.append(plain.estimate(reading).error_to(pos))
+                errs_gated.append(gated.estimate(reading).error_to(pos))
+        assert np.mean(errs_gated) <= np.mean(errs_plain) * 1.05

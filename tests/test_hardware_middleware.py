@@ -1,0 +1,141 @@
+"""Tests for the middleware server and its smoothing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ReadingError
+from repro.hardware.middleware import MiddlewareServer, SmoothingSpec
+from repro.hardware.readers import ReadingRecord
+
+
+def make_server(mode="window", window=3, alpha=0.5, max_age=None):
+    return MiddlewareServer(
+        reader_ids=["r0", "r1"],
+        reference_tags={"ref-0": (0.0, 0.0), "ref-1": (1.0, 0.0)},
+        smoothing=SmoothingSpec(
+            mode=mode, window=window, alpha=alpha, max_age_s=max_age
+        ),
+    )
+
+
+def feed(server, reader, tag, values, t0=0.0, dt=1.0):
+    for i, v in enumerate(values):
+        server.ingest(ReadingRecord(reader, tag, t0 + i * dt, v))
+
+
+def fill_all(server, value=-70.0, t=0.0):
+    for reader in server.reader_ids:
+        for tag in (*server.reference_ids, "track"):
+            server.ingest(ReadingRecord(reader, tag, t, value))
+
+
+class TestSmoothingSpec:
+    def test_invalid_mode(self):
+        with pytest.raises(ConfigurationError):
+            SmoothingSpec(mode="median")
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ConfigurationError):
+            SmoothingSpec(alpha=0.0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            SmoothingSpec(window=0)
+
+
+class TestMiddleware:
+    def test_window_mean(self):
+        server = make_server(mode="window", window=3)
+        fill_all(server)
+        feed(server, "r0", "track", [-60.0, -62.0, -64.0, -66.0])
+        snap = server.snapshot("track", now_s=10.0)
+        # Window of 3 keeps the last three readings.
+        assert snap.tracking_rssi[0] == pytest.approx(np.mean([-62, -64, -66]))
+
+    def test_latest_mode(self):
+        server = make_server(mode="latest")
+        fill_all(server)
+        feed(server, "r0", "track", [-60.0, -65.0])
+        snap = server.snapshot("track", now_s=10.0)
+        assert snap.tracking_rssi[0] == -65.0
+
+    def test_ewma_mode(self):
+        server = make_server(mode="ewma", alpha=0.5)
+        fill_all(server)  # primes every series with -70
+        feed(server, "r0", "track", [-60.0, -70.0])
+        snap = server.snapshot("track", now_s=10.0)
+        # chain: -70 (prime) -> 0.5*-60 + 0.5*-70 = -65 -> 0.5*-70 + 0.5*-65
+        assert snap.tracking_rssi[0] == pytest.approx(-67.5)
+
+    def test_snapshot_shapes_and_positions(self):
+        server = make_server()
+        fill_all(server)
+        snap = server.snapshot("track", now_s=1.0)
+        assert snap.reference_rssi.shape == (2, 2)
+        assert snap.tracking_rssi.shape == (2,)
+        np.testing.assert_array_equal(
+            snap.reference_positions, [[0.0, 0.0], [1.0, 0.0]]
+        )
+        assert snap.reader_ids == ("r0", "r1")
+
+    def test_missing_tracking_reading_raises(self):
+        server = make_server()
+        for reader in server.reader_ids:
+            for tag in server.reference_ids:
+                server.ingest(ReadingRecord(reader, tag, 0.0, -70.0))
+        with pytest.raises(ReadingError, match="tracking"):
+            server.snapshot("track", now_s=1.0)
+
+    def test_missing_reference_reading_raises(self):
+        server = make_server()
+        fill_all(server)
+        fresh = make_server()
+        # Only r0 saw ref-1.
+        feed(fresh, "r0", "ref-0", [-70.0])
+        feed(fresh, "r0", "ref-1", [-70.0])
+        feed(fresh, "r1", "ref-0", [-70.0])
+        feed(fresh, "r0", "track", [-70.0])
+        feed(fresh, "r1", "track", [-70.0])
+        with pytest.raises(ReadingError, match="reference"):
+            fresh.snapshot("track", now_s=1.0)
+
+    def test_stale_series_treated_missing(self):
+        server = make_server(max_age=5.0)
+        fill_all(server, t=0.0)
+        with pytest.raises(ReadingError):
+            server.snapshot("track", now_s=100.0)
+
+    def test_fresh_series_pass_age_check(self):
+        server = make_server(max_age=5.0)
+        fill_all(server, t=0.0)
+        snap = server.snapshot("track", now_s=4.0)
+        assert snap.timestamp == 4.0
+
+    def test_unknown_reader_rejected(self):
+        server = make_server()
+        with pytest.raises(ReadingError, match="unknown reader"):
+            server.ingest(ReadingRecord("r9", "t", 0.0, -70.0))
+
+    def test_coverage_fractions(self):
+        server = make_server()
+        feed(server, "r0", "ref-0", [-70.0])
+        cov = server.coverage(now_s=1.0)
+        assert cov == {"r0": 0.5, "r1": 0.0}
+
+    def test_records_ingested_counter(self):
+        server = make_server()
+        fill_all(server)
+        assert server.records_ingested == 6
+
+    def test_duplicate_reader_ids_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MiddlewareServer(
+                reader_ids=["r0", "r0"],
+                reference_tags={"a": (0.0, 0.0)},
+            )
+
+    def test_needs_reference_tags(self):
+        with pytest.raises(ConfigurationError):
+            MiddlewareServer(reader_ids=["r0"], reference_tags={})

@@ -1,0 +1,160 @@
+"""Cross-module property-based tests (hypothesis).
+
+These complement the per-module property tests by checking invariants
+that span the whole pipeline: estimator outputs stay inside sensible
+hulls for *arbitrary* readings, the channel responds linearly to
+attenuation, elimination behaves monotonically under reader subsets,
+and the VIRE weighting keeps the estimate a convex combination.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro import (
+    LandmarcEstimator,
+    TrackingReading,
+    VIREConfig,
+    VIREEstimator,
+    WeightedCentroidEstimator,
+    paper_testbed_grid,
+)
+from repro.core.elimination import eliminate
+from repro.core.proximity import build_proximity_maps
+
+GRID = paper_testbed_grid()
+REF_POSITIONS = GRID.tag_positions()
+
+rssi_values = st.floats(-100.0, -40.0, allow_nan=False, allow_infinity=False)
+
+
+def reading_strategy(k: int = 4):
+    """Arbitrary (but valid) readings over the paper grid."""
+    return st.tuples(
+        arrays(np.float64, (k, 16), elements=rssi_values),
+        arrays(np.float64, (k,), elements=rssi_values),
+    ).map(
+        lambda t: TrackingReading(
+            reference_rssi=t[0],
+            tracking_rssi=t[1],
+            reference_positions=REF_POSITIONS,
+        )
+    )
+
+
+class TestEstimatorHullInvariants:
+    @given(reading_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_landmarc_inside_grid_hull(self, reading):
+        res = LandmarcEstimator().estimate(reading)
+        xmin, ymin, xmax, ymax = GRID.bounds
+        assert xmin - 1e-9 <= res.x <= xmax + 1e-9
+        assert ymin - 1e-9 <= res.y <= ymax + 1e-9
+
+    @given(reading_strategy())
+    @settings(max_examples=25, deadline=None)
+    def test_vire_inside_virtual_hull(self, reading):
+        vire = VIREEstimator(GRID, VIREConfig(subdivisions=5))
+        res = vire.estimate(reading)
+        xmin, ymin, xmax, ymax = GRID.bounds
+        assert xmin - 1e-9 <= res.x <= xmax + 1e-9
+        assert ymin - 1e-9 <= res.y <= ymax + 1e-9
+
+    @given(reading_strategy())
+    @settings(max_examples=25, deadline=None)
+    def test_soft_centroid_inside_grid_hull(self, reading):
+        res = WeightedCentroidEstimator().estimate(reading)
+        xmin, ymin, xmax, ymax = GRID.bounds
+        assert xmin <= res.x <= xmax
+        assert ymin <= res.y <= ymax
+
+    @given(reading_strategy())
+    @settings(max_examples=25, deadline=None)
+    def test_estimates_always_finite(self, reading):
+        for est in (
+            LandmarcEstimator(),
+            VIREEstimator(GRID, VIREConfig(subdivisions=4)),
+        ):
+            res = est.estimate(reading)
+            assert np.isfinite(res.x) and np.isfinite(res.y)
+
+
+class TestShiftInvariance:
+    @given(reading_strategy(), st.floats(-10.0, 10.0))
+    @settings(max_examples=25, deadline=None)
+    def test_common_shift_leaves_landmarc_unchanged(self, reading, shift):
+        """Adding the same constant to every RSSI (reference AND
+        tracking) leaves RSSI-space distances, hence the estimate,
+        unchanged."""
+        res = LandmarcEstimator().estimate(reading)
+        shifted = TrackingReading(
+            reference_rssi=reading.reference_rssi + shift,
+            tracking_rssi=reading.tracking_rssi + shift,
+            reference_positions=REF_POSITIONS,
+        )
+        res2 = LandmarcEstimator().estimate(shifted)
+        assert res.position == pytest.approx(res2.position, abs=1e-9)
+
+    @given(reading_strategy(), st.floats(-10.0, 10.0))
+    @settings(max_examples=20, deadline=None)
+    def test_common_shift_leaves_vire_unchanged(self, reading, shift):
+        vire = VIREEstimator(GRID, VIREConfig(subdivisions=4))
+        res = vire.estimate(reading)
+        shifted = TrackingReading(
+            reference_rssi=reading.reference_rssi + shift,
+            tracking_rssi=reading.tracking_rssi + shift,
+            reference_positions=REF_POSITIONS,
+        )
+        res2 = vire.estimate(shifted)
+        assert res.position == pytest.approx(res2.position, abs=1e-9)
+
+
+class TestEliminationMonotonicity:
+    @given(
+        arrays(np.float64, (4, 6, 6), elements=st.floats(0.0, 12.0)),
+        st.integers(1, 4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fewer_votes_never_shrinks_selection(self, deviations, votes):
+        maps = build_proximity_maps(deviations, 3.0)
+        stricter = eliminate(maps, min_votes=min(votes + 1, 4))
+        looser = eliminate(maps, min_votes=votes)
+        assert np.all(looser[stricter])
+
+    @given(arrays(np.float64, (3, 5, 5), elements=st.floats(0.0, 12.0)))
+    @settings(max_examples=40, deadline=None)
+    def test_dropping_a_reader_never_shrinks_selection(self, deviations):
+        all_maps = build_proximity_maps(deviations, 3.0)
+        subset_maps = build_proximity_maps(deviations[:2], 3.0)
+        full = eliminate(all_maps)
+        subset = eliminate(subset_maps)
+        assert np.all(subset[full])
+
+
+class TestReaderPermutationInvariance:
+    @given(reading_strategy())
+    @settings(max_examples=20, deadline=None)
+    def test_vire_invariant_under_reader_order(self, reading):
+        """Shuffling the reader rows must not change the estimate (the
+        intersection and the weights are symmetric in readers)."""
+        vire = VIREEstimator(GRID, VIREConfig(subdivisions=4))
+        res = vire.estimate(reading)
+        perm = [2, 0, 3, 1]
+        shuffled = TrackingReading(
+            reference_rssi=reading.reference_rssi[perm],
+            tracking_rssi=reading.tracking_rssi[perm],
+            reference_positions=REF_POSITIONS,
+        )
+        res2 = vire.estimate(shuffled)
+        assert res.position == pytest.approx(res2.position, abs=1e-9)
+
+    @given(reading_strategy())
+    @settings(max_examples=20, deadline=None)
+    def test_landmarc_invariant_under_reader_order(self, reading):
+        res = LandmarcEstimator().estimate(reading)
+        res2 = LandmarcEstimator().estimate(reading.subset_readers([3, 2, 1, 0]))
+        assert res.position == pytest.approx(res2.position, abs=1e-9)

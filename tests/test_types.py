@@ -1,0 +1,177 @@
+"""Tests for the shared reading/estimate types."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import TrackingReading, EstimateResult, estimation_error
+from repro.exceptions import ReadingError
+from repro.baselines import LandmarcEstimator
+from repro.types import Estimator
+
+from .conftest import make_reading
+
+
+def _valid_reading(k=4, n=16):
+    rng = np.random.default_rng(0)
+    return TrackingReading(
+        reference_rssi=rng.uniform(-90, -50, (k, n)),
+        tracking_rssi=rng.uniform(-90, -50, k),
+        reference_positions=rng.uniform(0, 3, (n, 2)),
+    )
+
+
+class TestTrackingReading:
+    def test_accepts_valid_shapes(self):
+        r = _valid_reading()
+        assert r.n_readers == 4
+        assert r.n_references == 16
+
+    def test_arrays_coerced_to_float64(self):
+        r = TrackingReading(
+            reference_rssi=[[-60, -70], [-65, -75]],
+            tracking_rssi=[-62, -72],
+            reference_positions=[[0, 0], [1, 0]],
+        )
+        assert r.reference_rssi.dtype == np.float64
+        assert r.tracking_rssi.dtype == np.float64
+
+    def test_rejects_reader_count_mismatch(self):
+        with pytest.raises(ReadingError, match="reader count mismatch"):
+            TrackingReading(
+                reference_rssi=np.zeros((3, 4)),
+                tracking_rssi=np.zeros(4),
+                reference_positions=np.zeros((4, 2)),
+            )
+
+    def test_rejects_reference_count_mismatch(self):
+        with pytest.raises(ReadingError, match="reference tag count"):
+            TrackingReading(
+                reference_rssi=np.zeros((4, 5)),
+                tracking_rssi=np.zeros(4),
+                reference_positions=np.zeros((4, 2)),
+            )
+
+    def test_rejects_nan_rssi(self):
+        ref = np.zeros((2, 3))
+        ref[0, 1] = np.nan
+        with pytest.raises(ReadingError, match="non-finite"):
+            TrackingReading(
+                reference_rssi=ref,
+                tracking_rssi=np.zeros(2),
+                reference_positions=np.zeros((3, 2)),
+            )
+
+    def test_rejects_inf_tracking(self):
+        with pytest.raises(ReadingError, match="non-finite"):
+            TrackingReading(
+                reference_rssi=np.zeros((2, 3)),
+                tracking_rssi=np.array([0.0, np.inf]),
+                reference_positions=np.zeros((3, 2)),
+            )
+
+    def test_rejects_1d_reference_rssi(self):
+        with pytest.raises(ReadingError, match="2-D"):
+            TrackingReading(
+                reference_rssi=np.zeros(4),
+                tracking_rssi=np.zeros(4),
+                reference_positions=np.zeros((4, 2)),
+            )
+
+    def test_rejects_bad_position_shape(self):
+        with pytest.raises(ReadingError, match="n_refs, 2"):
+            TrackingReading(
+                reference_rssi=np.zeros((2, 3)),
+                tracking_rssi=np.zeros(2),
+                reference_positions=np.zeros((3, 3)),
+            )
+
+    def test_reader_ids_length_checked(self):
+        with pytest.raises(ReadingError, match="reader_ids"):
+            TrackingReading(
+                reference_rssi=np.zeros((2, 3)),
+                tracking_rssi=np.zeros(2),
+                reference_positions=np.zeros((3, 2)),
+                reader_ids=("a",),
+            )
+
+    def test_subset_readers_selects_rows(self):
+        r = _valid_reading()
+        sub = r.subset_readers([0, 2])
+        assert sub.n_readers == 2
+        np.testing.assert_array_equal(sub.reference_rssi, r.reference_rssi[[0, 2]])
+        np.testing.assert_array_equal(sub.tracking_rssi, r.tracking_rssi[[0, 2]])
+
+    def test_subset_readers_keeps_ids(self):
+        r = TrackingReading(
+            reference_rssi=np.zeros((3, 2)),
+            tracking_rssi=np.zeros(3),
+            reference_positions=np.zeros((2, 2)),
+            reader_ids=("a", "b", "c"),
+        )
+        assert r.subset_readers([2, 0]).reader_ids == ("c", "a")
+
+    def test_subset_readers_rejects_empty(self):
+        with pytest.raises(ReadingError, match="zero readers"):
+            _valid_reading().subset_readers([])
+
+
+class TestEstimationError:
+    def test_zero_for_identical_points(self):
+        assert estimation_error((1.0, 2.0), (1.0, 2.0)) == 0.0
+
+    def test_known_345_triangle(self):
+        assert estimation_error((0.0, 0.0), (3.0, 4.0)) == pytest.approx(5.0)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ReadingError):
+            estimation_error((1.0, 2.0, 3.0), (0.0, 0.0))
+
+    @given(
+        st.tuples(
+            st.floats(-100, 100), st.floats(-100, 100),
+            st.floats(-100, 100), st.floats(-100, 100),
+        )
+    )
+    def test_symmetry(self, coords):
+        x0, y0, x1, y1 = coords
+        a, b = (x0, y0), (x1, y1)
+        assert estimation_error(a, b) == pytest.approx(estimation_error(b, a))
+
+    @given(
+        st.tuples(
+            st.floats(-50, 50), st.floats(-50, 50),
+            st.floats(-50, 50), st.floats(-50, 50),
+            st.floats(-50, 50), st.floats(-50, 50),
+        )
+    )
+    def test_triangle_inequality(self, coords):
+        x0, y0, x1, y1, x2, y2 = coords
+        a, b, c = (x0, y0), (x1, y1), (x2, y2)
+        assert estimation_error(a, c) <= (
+            estimation_error(a, b) + estimation_error(b, c) + 1e-9
+        )
+
+
+class TestEstimateResult:
+    def test_error_to_matches_function(self):
+        res = EstimateResult(position=(1.0, 1.0), estimator="x")
+        assert res.error_to((2.0, 1.0)) == pytest.approx(1.0)
+
+    def test_xy_accessors(self):
+        res = EstimateResult(position=(1.5, 2.5))
+        assert res.x == 1.5
+        assert res.y == 2.5
+
+    def test_landmarc_satisfies_estimator_protocol(self):
+        assert isinstance(LandmarcEstimator(), Estimator)
+
+
+class TestMakeReadingHelper:
+    def test_helper_produces_grid_consistent_reading(self):
+        r = make_reading(np.zeros((4, 16)), np.zeros(4))
+        assert r.n_references == 16
+        assert r.reference_positions.shape == (16, 2)
