@@ -96,6 +96,15 @@ from .tracking import (
     evaluate_track,
 )
 from . import analysis
+from .service import (
+    LocalizationService,
+    SessionReport,
+    ServiceConfig,
+    ServicePipeline,
+    ServiceResult,
+    InterpolationCache,
+    MetricsRegistry,
+)
 from .experiments import (
     TestbedScenario,
     paper_scenario,
@@ -141,5 +150,9 @@ __all__ = [
     # experiments
     "TestbedScenario", "paper_scenario", "run_scenario", "TrialSampler",
     "MeasurementSpec", "figures", "sweeps", "analysis",
+    # service (streaming localization)
+    "LocalizationService", "SessionReport", "ServiceConfig",
+    "ServicePipeline", "ServiceResult", "InterpolationCache",
+    "MetricsRegistry",
     "__version__",
 ]

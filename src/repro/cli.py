@@ -11,6 +11,10 @@ Commands
     The full reproduction report (all figures + statistics).
 ``track``
     Demo: track a moving asset through the full event-driven testbed.
+``serve``
+    Run the real-time streaming localization service over a seeded
+    scenario: live result table, then the metrics dump (cache hit rate,
+    batches flushed, degraded requests, latency quantiles).
 """
 
 from __future__ import annotations
@@ -85,6 +89,26 @@ def build_parser() -> argparse.ArgumentParser:
     trk = sub.add_parser("track", help="moving-asset tracking demo")
     trk.add_argument("--env", default="Env3", choices=["Env1", "Env2", "Env3"])
     trk.add_argument("--seed", type=int, default=7)
+
+    srv = sub.add_parser("serve", help="run the streaming localization service")
+    srv.add_argument("--env", default="Env3", choices=["Env1", "Env2", "Env3"])
+    srv.add_argument("--duration", type=float, default=10.0,
+                     help="streamed session length in simulated seconds")
+    srv.add_argument("--seed", type=int, default=0)
+    srv.add_argument("--batch-size", type=int, default=8,
+                     help="micro-batch flush size")
+    srv.add_argument("--max-latency", type=float, default=1.0,
+                     help="micro-batch flush deadline (service seconds)")
+    srv.add_argument("--query-interval", type=float, default=2.0,
+                     help="per-tag localization query period (service seconds)")
+    srv.add_argument("--no-cache", action="store_true",
+                     help="disable the interpolation cache")
+    srv.add_argument("--quantization-db", type=float, default=0.0,
+                     help="cache key quantization (0 = exact keys)")
+    srv.add_argument("--quiet", action="store_true",
+                     help="suppress the live per-result rows")
+    srv.add_argument("--prometheus", action="store_true",
+                     help="append the full Prometheus text exposition")
 
     hm = sub.add_parser("heatmap", help="spatial error map of an estimator")
     hm.add_argument("--env", default="Env3", choices=["Env1", "Env2", "Env3"])
@@ -183,6 +207,60 @@ def _cmd_track(args) -> str:
     )
 
 
+def _cmd_serve(args) -> str:
+    from .experiments.scenarios import paper_scenario
+    from .service import LocalizationService, ServiceConfig
+
+    config = ServiceConfig(
+        max_batch_size=args.batch_size,
+        max_latency_s=args.max_latency,
+        query_interval_s=args.query_interval,
+        cache_enabled=not args.no_cache,
+        cache_quantization_db=args.quantization_db,
+    )
+    scenario = paper_scenario(args.env, n_trials=1, base_seed=args.seed)
+    service = LocalizationService(config)
+
+    def live_row(result) -> None:
+        flag = f" DEGRADED({result.reason})" if result.degraded else ""
+        print(
+            f"  t={result.completed_at_s:7.2f}s  {result.tag_id:8s} "
+            f"-> ({result.position[0]:5.2f}, {result.position[1]:5.2f})  "
+            f"[{result.estimator}]{flag}"
+        )
+
+    if not args.quiet:
+        print(f"serving {args.env} for {args.duration:g}s (seed {args.seed}):")
+    report = service.run(
+        scenario, args.duration, on_result=None if args.quiet else live_row
+    )
+    s = report.summary
+    lines = [
+        "",
+        f"session summary ({args.env}, {s['session_duration_s']:g}s streamed, "
+        f"seed {args.seed}):",
+        f"  requests served      {s['results']:.0f}"
+        f"  (failed {s['failed']:.0f})",
+        f"  degraded requests    {s['degraded']:.0f} "
+        f"({100 * s['degraded_fraction']:.1f}%)",
+        f"  batches flushed      {s['batches_flushed']:.0f}",
+        f"  records streamed     {s['records_streamed']:.0f} "
+        f"(dropped {s['records_dropped']:.0f}, "
+        f"queue high-water {s['queue_high_watermark']:.0f})",
+        f"  cache hit rate       {100 * s['cache_hit_rate']:.1f}% "
+        f"({s['cache_hits']:.0f} hits / {s['cache_misses']:.0f} misses)",
+        f"  latency p50          {1e3 * s['latency_p50_s']:.3f} ms",
+        f"  latency p99          {1e3 * s['latency_p99_s']:.3f} ms",
+        f"  throughput           {s['localizations_per_s']:.1f} localizations/s "
+        f"(wall {s['wall_time_s']:.2f}s)",
+        f"  mean error           {report.mean_error_m:.3f} m "
+        f"over {len(report.errors_m)} ground-truth results",
+    ]
+    if args.prometheus:
+        lines += ["", report.render_prometheus()]
+    return "\n".join(lines)
+
+
 def _cmd_heatmap(args) -> str:
     from .analysis import format_heatmap, spatial_error_map
     from .core.soft import SoftVIREEstimator
@@ -212,6 +290,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "report": _cmd_report,
     "track": _cmd_track,
+    "serve": _cmd_serve,
     "heatmap": _cmd_heatmap,
 }
 

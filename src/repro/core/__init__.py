@@ -34,7 +34,7 @@ from .proximity import ProximityMap, build_proximity_maps
 from .elimination import eliminate, vote_map
 from .threshold import AdaptiveThresholdSelector, minimal_feasible_threshold
 from .weighting import combine_weights, compute_w1, compute_w2
-from .estimator import VIREEstimator
+from .estimator import VIREEstimator, LatticeCache
 from .soft import SoftVIREEstimator
 from .boundary import BoundaryAwareEstimator, is_boundary_estimate
 from .irregular import IrregularVirtualGrid, IrregularVIREEstimator
@@ -56,6 +56,7 @@ __all__ = [
     "compute_w2",
     "combine_weights",
     "VIREEstimator",
+    "LatticeCache",
     "SoftVIREEstimator",
     "BoundaryAwareEstimator",
     "is_boundary_estimate",

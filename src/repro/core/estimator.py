@@ -9,6 +9,8 @@ are drop-in comparable in every experiment.
 
 from __future__ import annotations
 
+from typing import Protocol, runtime_checkable
+
 import numpy as np
 
 from ..baselines.landmarc import LandmarcEstimator
@@ -23,7 +25,26 @@ from .threshold import minimal_feasible_threshold
 from .virtual_grid import VirtualGrid
 from .weighting import combine_weights, compute_w1, compute_w2
 
-__all__ = ["VIREEstimator"]
+__all__ = ["VIREEstimator", "LatticeCache"]
+
+
+@runtime_checkable
+class LatticeCache(Protocol):
+    """Protocol of the interpolation cache an estimator may be given.
+
+    Implemented by :class:`repro.service.cache.InterpolationCache`; kept
+    as a protocol here so ``core`` never imports ``service`` (the service
+    layer sits *above* the algorithm layer).
+    """
+
+    def get_or_compute(
+        self,
+        lattice: np.ndarray,
+        virtual_grid: VirtualGrid,
+        interpolator,
+    ) -> np.ndarray:
+        """Return the interpolated virtual surface for ``lattice``."""
+        ...
 
 
 class VIREEstimator:
@@ -37,6 +58,12 @@ class VIREEstimator:
     config:
         Algorithm parameters; defaults to the paper's operating point
         with n=10 subdivisions.
+    interpolation_cache:
+        Optional :class:`LatticeCache` consulted per reader lattice in
+        :meth:`interpolate_reading`. ``None`` (the default) recomputes
+        every interpolation — bit-identical behaviour to the cacheless
+        estimator. The streaming service injects
+        :class:`repro.service.cache.InterpolationCache` here.
 
     Notes
     -----
@@ -49,9 +76,16 @@ class VIREEstimator:
 
     name = "VIRE"
 
-    def __init__(self, grid: ReferenceGrid, config: VIREConfig | None = None):
+    def __init__(
+        self,
+        grid: ReferenceGrid,
+        config: VIREConfig | None = None,
+        *,
+        interpolation_cache: LatticeCache | None = None,
+    ):
         self.grid = grid
         self.config = config or VIREConfig()
+        self.interpolation_cache = interpolation_cache
         if self.config.target_total_tags is not None:
             self.virtual_grid = VirtualGrid.for_target_count(
                 grid,
@@ -85,10 +119,16 @@ class VIREEstimator:
         """Per-reader virtual RSSI tensor ``(K, v_rows, v_cols)``."""
         self._check_layout(reading)
         k = reading.n_readers
+        cache = self.interpolation_cache
         out = np.empty((k, *self.virtual_grid.shape))
         for i in range(k):
             lattice = self.grid.lattice_from_flat(reading.reference_rssi[i])
-            out[i] = self._interpolator.interpolate(lattice, self.virtual_grid)
+            if cache is not None:
+                out[i] = cache.get_or_compute(
+                    lattice, self.virtual_grid, self._interpolator
+                )
+            else:
+                out[i] = self._interpolator.interpolate(lattice, self.virtual_grid)
         return out
 
     def select_threshold(self, deviations: np.ndarray) -> float:

@@ -13,6 +13,7 @@ from .tags import TagSpec, ActiveTag, NEW_EQUIPMENT, ORIGINAL_EQUIPMENT
 from .readers import Reader, ReadingRecord
 from .middleware import MiddlewareServer, SmoothingSpec
 from .simulator import TestbedSimulator
+from .streams import SimulatorRecordStream
 from .deployment import Deployment, build_paper_deployment
 
 __all__ = [
@@ -27,6 +28,7 @@ __all__ = [
     "MiddlewareServer",
     "SmoothingSpec",
     "TestbedSimulator",
+    "SimulatorRecordStream",
     "Deployment",
     "build_paper_deployment",
 ]

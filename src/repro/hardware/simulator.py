@@ -9,7 +9,7 @@ middleware. The simulation is deterministic for a given seed.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -21,7 +21,7 @@ from ..types import TrackingReading
 from ..utils.rng import derive_rng
 from .events import EventQueue
 from .middleware import MiddlewareServer, SmoothingSpec
-from .readers import Reader
+from .readers import Reader, ReadingRecord
 from .tags import ActiveTag
 
 __all__ = ["TestbedSimulator"]
@@ -97,6 +97,7 @@ class TestbedSimulator:
         self.queue = EventQueue()
         self._beacon_rng = derive_rng(self.seed, "beacons")
         self._sample_rng = derive_rng(self.seed, "samples")
+        self._record_sink: Callable[[ReadingRecord], None] | None = None
 
         self._interference_offsets: dict[str, float] = {}
         if self.interference is not None:
@@ -153,9 +154,31 @@ class TestbedSimulator:
             )
             record = reader.receive(tag.tag_id, now, rssi)
             if record is not None:
-                self.middleware.ingest(record)
+                if self._record_sink is not None:
+                    self._record_sink(record)
+                else:
+                    self.middleware.ingest(record)
 
     # -- public API ---------------------------------------------------------
+
+    def set_record_sink(
+        self, sink: Callable[[ReadingRecord], None] | None
+    ) -> None:
+        """Divert reading records to ``sink`` instead of the middleware.
+
+        While a sink is installed, *every* detected beacon record goes to
+        the sink and the built-in :class:`MiddlewareServer` receives
+        nothing — the sink owns delivery (this is how the streaming
+        service interposes its bounded ingestion queue between readers
+        and middleware, so queue overflow genuinely loses data). Pass
+        ``None`` to restore direct middleware ingestion.
+        """
+        self._record_sink = sink
+
+    @property
+    def record_sink(self) -> Callable[[ReadingRecord], None] | None:
+        """The installed record sink, if any."""
+        return self._record_sink
 
     @property
     def now(self) -> float:

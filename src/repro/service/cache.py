@@ -1,0 +1,178 @@
+"""Content-keyed LRU cache for the virtual-grid interpolation step.
+
+Interpolating one reader's reference-RSSI lattice onto the virtual grid
+is the dominant per-estimate cost after elimination (O(N²) per reader,
+repeated K times per localization). In a streaming deployment the
+reference tags are *static* and deeply smoothed (§4.1), so consecutive
+snapshots frequently carry identical — or nearly identical — reference
+lattices per reader. ViFi (PAPERS.md) makes the same observation at the
+fingerprint level: virtual reference maps are reusable across queries.
+
+:class:`InterpolationCache` exploits this: the interpolated virtual
+lattice is cached under a content key derived from the reader's
+reference-RSSI vector, the interpolation scheme and the virtual-grid
+geometry. Two keying modes:
+
+* ``quantization_db = 0`` (exact): the key is the raw float64 bytes.
+  A hit returns a result that is *bitwise identical* to recomputation.
+* ``quantization_db > 0``: RSSI values are snapped to a grid of this
+  resolution before keying, so snapshots whose reference readings moved
+  less than the quantum collapse onto one entry. The returned surface
+  then comes from the first lattice seen in the bucket — an approximation
+  whose RSSI error is bounded by the quantum (the interpolators are
+  convex combinations / bounded-gain maps of the inputs). Choose the
+  quantum well below the channel's fading sigma and the approximation
+  disappears into measurement noise.
+
+The cache is injected into :class:`~repro.core.estimator.VIREEstimator`
+(which only sees the small :class:`~repro.core.estimator.LatticeCache`
+protocol — ``core`` never imports ``service``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..core.interpolation import GridInterpolator
+    from ..core.virtual_grid import VirtualGrid
+
+__all__ = ["InterpolationCache"]
+
+
+class InterpolationCache:
+    """Bounded LRU cache mapping reference lattices to virtual surfaces.
+
+    Parameters
+    ----------
+    max_entries:
+        Capacity; least-recently-used entries are evicted beyond it.
+    quantization_db:
+        Key quantization resolution in dB. ``0`` keys on exact bytes
+        (hits are bitwise-identical to recomputation); positive values
+        trade bounded approximation error for a higher hit rate on
+        slowly-drifting reference readings.
+    """
+
+    def __init__(self, max_entries: int = 256, quantization_db: float = 0.0):
+        if max_entries < 1:
+            raise ConfigurationError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        if quantization_db < 0:
+            raise ConfigurationError(
+                f"quantization_db must be >= 0, got {quantization_db}"
+            )
+        self.max_entries = int(max_entries)
+        self.quantization_db = float(quantization_db)
+        self._entries: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # -- keying --------------------------------------------------------------
+
+    def _lattice_key(self, lattice: np.ndarray) -> bytes:
+        arr = np.ascontiguousarray(lattice, dtype=np.float64)
+        if self.quantization_db > 0.0:
+            return np.rint(arr / self.quantization_db).astype(np.int64).tobytes()
+        return arr.tobytes()
+
+    @staticmethod
+    def _grid_token(virtual_grid: "VirtualGrid", interpolator: "GridInterpolator") -> tuple:
+        grid = virtual_grid.grid
+        return (
+            getattr(interpolator, "name", type(interpolator).__name__),
+            virtual_grid.subdivisions,
+            virtual_grid.shape,
+            grid.rows,
+            grid.cols,
+            grid.spacing_x,
+            grid.spacing_y,
+            grid.origin,
+        )
+
+    # -- the cache operation -------------------------------------------------
+
+    def get_or_compute(
+        self,
+        lattice: np.ndarray,
+        virtual_grid: "VirtualGrid",
+        interpolator: "GridInterpolator",
+    ) -> np.ndarray:
+        """Return the interpolated surface for ``lattice``, cached.
+
+        This is the single entry point the estimator calls (it satisfies
+        the ``LatticeCache`` protocol). The returned array is marked
+        read-only; callers copy it into their own buffers.
+        """
+        key = (self._grid_token(virtual_grid, interpolator),
+               lattice.shape, self._lattice_key(lattice))
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._hits += 1
+            self._entries.move_to_end(key)
+            return cached
+        self._misses += 1
+        surface = np.asarray(
+            interpolator.interpolate(lattice, virtual_grid), dtype=np.float64
+        )
+        surface.setflags(write=False)
+        self._entries[key] = surface
+        if len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+        return surface
+
+    # -- accounting ----------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions
+
+    @property
+    def lookups(self) -> int:
+        return self._hits + self._misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hit fraction over all lookups (0.0 when never used)."""
+        total = self.lookups
+        return self._hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop all entries (keeps the accounting counters)."""
+        self._entries.clear()
+
+    def stats(self) -> dict[str, float]:
+        """Snapshot used by the pipeline's metrics mirror."""
+        return {
+            "hits": float(self._hits),
+            "misses": float(self._misses),
+            "evictions": float(self._evictions),
+            "entries": float(len(self._entries)),
+            "hit_rate": self.hit_rate,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"InterpolationCache(entries={len(self._entries)}/{self.max_entries}, "
+            f"hits={self._hits}, misses={self._misses}, "
+            f"q={self.quantization_db:g} dB)"
+        )

@@ -1,0 +1,328 @@
+"""Service metrics: counters, gauges, fixed-bucket latency histograms.
+
+The streaming service is the first part of the codebase that runs as an
+*online* system, so it is the first part that needs observability. This
+module provides the three Prometheus primitive types the pipeline needs —
+:class:`Counter`, :class:`Gauge` and :class:`Histogram` — collected in a
+:class:`MetricsRegistry` that renders the standard text exposition format
+(``# HELP`` / ``# TYPE`` / samples), plus a structured-logging hook so
+every pipeline event can be traced as ``event=... key=value`` lines
+through the stdlib :mod:`logging` machinery.
+
+Design notes
+------------
+* Histograms keep both fixed cumulative buckets (for the exposition
+  format) and the raw samples (for exact quantiles in reports and
+  tests). At service scale — thousands of localizations per session —
+  the raw samples are cheap; a production fork would drop them and read
+  quantiles off the buckets.
+* Everything is synchronous and allocation-light; metrics are updated on
+  the hot path of the pipeline.
+* No global state: each pipeline owns its registry, so tests and
+  benchmarks never interfere with each other.
+"""
+
+from __future__ import annotations
+
+import bisect
+import logging
+import math
+from typing import Iterable, Mapping, Sequence
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "get_service_logger",
+    "log_event",
+]
+
+#: Default latency buckets (seconds). Spans 0.1 ms .. 10 s, roughly
+#: logarithmic — one VIRE estimate is a few ms of numpy, so the decade
+#: around 1-100 ms carries the resolution.
+DEFAULT_LATENCY_BUCKETS_S: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+_METRIC_NAME_OK = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:"
+)
+
+
+def _check_name(name: str) -> str:
+    if not name or not set(name) <= _METRIC_NAME_OK or name[0].isdigit():
+        raise ConfigurationError(f"invalid metric name {name!r}")
+    return name
+
+
+def _format_value(v: float) -> str:
+    """Prometheus sample formatting: integers without trailing ``.0``."""
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    f = float(v)
+    return str(int(f)) if f.is_integer() else repr(f)
+
+
+class Counter:
+    """Monotonically increasing count (requests served, cache hits, ...)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = _check_name(name)
+        self.help = help
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name} cannot decrease (inc by {amount})"
+            )
+        self._value += amount
+
+    def samples(self) -> list[tuple[str, float]]:
+        return [(self.name, self._value)]
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self._value:g})"
+
+
+class Gauge:
+    """Point-in-time value (queue depth, cache size, ...)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = _check_name(name)
+        self.help = help
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    def samples(self) -> list[tuple[str, float]]:
+        return [(self.name, self._value)]
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self._value:g})"
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact quantiles from retained samples.
+
+    Parameters
+    ----------
+    buckets:
+        Strictly increasing upper bounds. A ``+Inf`` bucket is implicit.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_S,
+    ):
+        self.name = _check_name(name)
+        self.help = help
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ConfigurationError("histogram needs at least one bucket")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ConfigurationError(
+                f"histogram buckets must be strictly increasing, got {bounds}"
+            )
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last = +Inf overflow
+        self._sum = 0.0
+        self._samples: list[float] = []
+
+    @property
+    def count(self) -> int:
+        return sum(self._counts)
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        if not math.isfinite(v):
+            raise ConfigurationError(f"cannot observe non-finite value {value}")
+        self._counts[bisect.bisect_left(self.buckets, v)] += 1
+        self._sum += v
+        self._samples.append(v)
+
+    def quantile(self, q: float) -> float:
+        """Exact quantile of the observed samples (nearest-rank).
+
+        Returns ``nan`` when nothing has been observed.
+        """
+        if not (0.0 <= q <= 1.0):
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        if not self._samples:
+            return math.nan
+        ordered = sorted(self._samples)
+        rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+        return ordered[rank]
+
+    def samples(self) -> list[tuple[str, float]]:
+        out: list[tuple[str, float]] = []
+        cumulative = 0
+        for bound, n in zip(self.buckets, self._counts):
+            cumulative += n
+            out.append((f'{self.name}_bucket{{le="{_format_value(bound)}"}}',
+                        float(cumulative)))
+        out.append((f'{self.name}_bucket{{le="+Inf"}}', float(self.count)))
+        out.append((f"{self.name}_sum", self._sum))
+        out.append((f"{self.name}_count", float(self.count)))
+        return out
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, count={self.count}, sum={self._sum:g})"
+
+
+class MetricsRegistry:
+    """Owns a namespace of metrics and renders the text exposition.
+
+    Metrics are created idempotently: asking twice for the same name
+    returns the same object (with a type check), so pipeline components
+    can each grab handles without coordinating construction order.
+    """
+
+    def __init__(self, namespace: str = "repro"):
+        self.namespace = _check_name(namespace) if namespace else ""
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _full(self, name: str) -> str:
+        return f"{self.namespace}_{name}" if self.namespace else name
+
+    def _get_or_make(self, cls, name: str, help: str, **kwargs):
+        full = self._full(name)
+        existing = self._metrics.get(full)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ConfigurationError(
+                    f"metric {full!r} already registered as {existing.kind}"
+                )
+            return existing
+        metric = cls(full, help, **kwargs)
+        self._metrics[full] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_make(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_make(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_S,
+    ) -> Histogram:
+        return self._get_or_make(Histogram, name, help, buckets=buckets)
+
+    def __iter__(self) -> Iterable[Counter | Gauge | Histogram]:
+        return iter(self._metrics.values())
+
+    def __contains__(self, name: str) -> bool:
+        return self._full(name) in self._metrics or name in self._metrics
+
+    def get(self, name: str) -> Counter | Gauge | Histogram:
+        full = self._full(name)
+        if full in self._metrics:
+            return self._metrics[full]
+        if name in self._metrics:
+            return self._metrics[name]
+        raise ConfigurationError(f"no metric named {name!r} registered")
+
+    def render_prometheus(self) -> str:
+        """The standard ``text/plain; version=0.0.4`` exposition."""
+        lines: list[str] = []
+        for metric in self._metrics.values():
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            for sample_name, value in metric.samples():
+                lines.append(f"{sample_name} {_format_value(value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_dict(self) -> dict[str, float | Mapping[str, float]]:
+        """Flat snapshot for JSON reports: histograms expose count/sum/p50/p99."""
+        out: dict[str, float | Mapping[str, float]] = {}
+        for metric in self._metrics.values():
+            if isinstance(metric, Histogram):
+                out[metric.name] = {
+                    "count": float(metric.count),
+                    "sum": metric.sum,
+                    "p50": metric.quantile(0.50),
+                    "p90": metric.quantile(0.90),
+                    "p99": metric.quantile(0.99),
+                }
+            else:
+                out[metric.name] = metric.value
+        return out
+
+
+# -- structured logging hook -------------------------------------------------
+
+_SERVICE_LOGGER_NAME = "repro.service"
+
+
+def get_service_logger() -> logging.Logger:
+    """The service's logger (``repro.service``), NullHandler'd by default.
+
+    Library rule: never configure the root logger. Applications opt in
+    with ``logging.basicConfig(level=logging.INFO)`` (or their own
+    handlers) and immediately see the pipeline's structured events.
+    """
+    logger = logging.getLogger(_SERVICE_LOGGER_NAME)
+    if not any(isinstance(h, logging.NullHandler) for h in logger.handlers):
+        logger.addHandler(logging.NullHandler())
+    return logger
+
+
+def _format_field(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    text = str(value)
+    return f'"{text}"' if " " in text else text
+
+
+def log_event(
+    logger: logging.Logger, event: str, /, level: int = logging.INFO, **fields
+) -> None:
+    """Emit one structured ``event=... key=value`` log line.
+
+    The line format is machine-greppable (``event=batch_flush size=8``)
+    while staying readable in a terminal; parsing it back is a
+    ``shlex.split`` away. Lazy: formatting only happens if the logger is
+    enabled for ``level``.
+    """
+    if not logger.isEnabledFor(level):
+        return
+    parts = [f"event={event}"]
+    parts += [f"{k}={_format_field(v)}" for k, v in fields.items()]
+    logger.log(level, " ".join(parts))

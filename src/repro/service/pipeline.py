@@ -1,0 +1,396 @@
+"""The service orchestrator: snapshots → batches → estimates, degraded
+gracefully, measured always.
+
+:class:`ServicePipeline` wires the streaming stack together:
+
+.. code-block:: text
+
+    readers ──> BoundedRecordQueue ──> MiddlewareServer
+                   (ingest.py)              │ snapshot(tag, now)
+                                            v
+    queries ──> MicroBatcher ──> estimator workers ──> ServiceResult
+                 (batcher.py)    VIRE ──degrade──> LANDMARC
+
+Graceful degradation (never an exception on the serving path):
+
+* **empty intersection** — the adaptive-threshold elimination can leave
+  no candidate region; the paper's middleware must still answer. The
+  pipeline runs VIRE with ``empty_fallback="error"`` so the condition
+  surfaces as :class:`~repro.exceptions.EstimationError`, catches it,
+  and re-estimates with classic LANDMARC (``degraded=True``,
+  ``reason="empty_intersection"``).
+* **deadline exceeded** — a request older than its deadline when its
+  batch executes skips VIRE entirely and takes the cheaper LANDMARC
+  path (``reason="deadline"``).
+* **missing readings** — when even a snapshot cannot be assembled
+  (reader dropout, stale series), the pipeline answers with the tag's
+  last known estimate if one exists (``reason="no_reading"``); only a
+  tag that has *never* been localized yields no result, counted in
+  ``service_requests_failed_total``.
+
+Every stage updates the shared :class:`MetricsRegistry`; nothing in this
+module sleeps or reads wall-clock time except through the injectable
+``perf_clock`` (so tests can fake latency deterministically).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Mapping
+
+from ..baselines.landmarc import LandmarcEstimator
+from ..core.config import VIREConfig
+from ..core.estimator import VIREEstimator
+from ..exceptions import ConfigurationError, EstimationError, ReadingError
+from ..geometry.grid import ReferenceGrid
+from ..hardware.middleware import MiddlewareServer
+from .batcher import Batch, LocalizationRequest, MicroBatcher
+from .cache import InterpolationCache
+from .ingest import BoundedRecordQueue, IngestionLoop
+from .metrics import MetricsRegistry, get_service_logger, log_event
+
+__all__ = ["ServiceConfig", "ServiceResult", "ServicePipeline"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """All knobs of the streaming localization service.
+
+    Parameters
+    ----------
+    queue_capacity:
+        Bound of the ingestion queue (drop-oldest beyond it).
+    max_batch_size / max_latency_s:
+        Micro-batcher flush triggers (see :class:`MicroBatcher`).
+    request_deadline_s:
+        Per-request deadline, in service-clock seconds from submission;
+        requests older than this at execution time degrade to LANDMARC.
+        ``None`` disables deadline degradation.
+    query_interval_s:
+        How often the session submits a localization query per tracking
+        tag.
+    stream_step_s:
+        Simulation-time granularity of the record stream.
+    cache_enabled / cache_max_entries / cache_quantization_db:
+        Interpolation cache wiring (see :class:`InterpolationCache`).
+    vire:
+        Algorithm configuration of the primary estimator. Its
+        ``empty_fallback`` is forced to ``"error"`` internally — the
+        *pipeline* owns degradation, so an empty intersection is always
+        recorded as a degraded result rather than silently relaxed.
+    """
+
+    queue_capacity: int = 4096
+    max_batch_size: int = 8
+    max_latency_s: float = 1.0
+    request_deadline_s: float | None = 5.0
+    query_interval_s: float = 2.0
+    stream_step_s: float = 0.5
+    cache_enabled: bool = True
+    cache_max_entries: int = 256
+    cache_quantization_db: float = 0.0
+    vire: VIREConfig = field(
+        default_factory=lambda: VIREConfig(target_total_tags=900)
+    )
+
+    def __post_init__(self) -> None:
+        if self.request_deadline_s is not None and self.request_deadline_s <= 0:
+            raise ConfigurationError(
+                f"request_deadline_s must be positive or None, "
+                f"got {self.request_deadline_s}"
+            )
+        if self.query_interval_s <= 0:
+            raise ConfigurationError(
+                f"query_interval_s must be positive, got {self.query_interval_s}"
+            )
+        if self.stream_step_s <= 0:
+            raise ConfigurationError(
+                f"stream_step_s must be positive, got {self.stream_step_s}"
+            )
+        # Remaining fields are validated by the components they configure.
+
+    def with_(self, **changes) -> "ServiceConfig":
+        """Modified copy (thin wrapper over dataclasses.replace)."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """One served localization answer.
+
+    ``degraded`` results are still answers — the position comes from the
+    LANDMARC fallback (or the last known estimate); ``reason`` says why
+    the primary path was not used.
+    """
+
+    tag_id: str
+    position: tuple[float, float]
+    estimator: str
+    degraded: bool
+    reason: str | None
+    requested_at_s: float
+    completed_at_s: float
+    processing_latency_s: float
+    diagnostics: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def queue_wait_s(self) -> float:
+        """Service-clock time spent waiting between submit and execute."""
+        return self.completed_at_s - self.requested_at_s
+
+
+class ServicePipeline:
+    """Orchestrates ingest → batch → estimate with graceful degradation.
+
+    Parameters
+    ----------
+    grid:
+        The real reference grid of the deployment being served.
+    middleware:
+        The middleware the ingestion loop fills and snapshots come from.
+    config:
+        Service knobs.
+    metrics:
+        Optional shared registry; created on demand.
+    perf_clock:
+        Monotonic wall-clock used for processing-latency measurement
+        (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        grid: ReferenceGrid,
+        middleware: MiddlewareServer,
+        config: ServiceConfig | None = None,
+        *,
+        metrics: MetricsRegistry | None = None,
+        perf_clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.config = config or ServiceConfig()
+        self.metrics = metrics or MetricsRegistry()
+        self.middleware = middleware
+        self._perf_clock = perf_clock
+        self._logger = get_service_logger()
+
+        self.cache: InterpolationCache | None = None
+        if self.config.cache_enabled:
+            self.cache = InterpolationCache(
+                max_entries=self.config.cache_max_entries,
+                quantization_db=self.config.cache_quantization_db,
+            )
+        self.vire = VIREEstimator(
+            grid,
+            self.config.vire.with_(empty_fallback="error"),
+            interpolation_cache=self.cache,
+        )
+        self.fallback = LandmarcEstimator()
+        self.queue = BoundedRecordQueue(self.config.queue_capacity)
+        self.ingest = IngestionLoop(self.queue, middleware, metrics=self.metrics)
+        self.batcher = MicroBatcher(
+            self.config.max_batch_size,
+            self.config.max_latency_s,
+            metrics=self.metrics,
+        )
+
+        m = self.metrics
+        self._c_requests = m.counter(
+            "service_requests_total", "Localization requests accepted"
+        )
+        self._c_results = m.counter(
+            "service_results_total", "Localization results served"
+        )
+        self._c_degraded = m.counter(
+            "service_degraded_total", "Results served by a degraded path"
+        )
+        self._c_degraded_reason = {
+            reason: m.counter(
+                f"service_degraded_{reason}_total",
+                f"Results degraded because of {reason}",
+            )
+            for reason in ("empty_intersection", "deadline", "no_reading")
+        }
+        self._c_failed = m.counter(
+            "service_requests_failed_total",
+            "Requests with no answer at all (no reading, no last estimate)",
+        )
+        self._h_latency = m.histogram(
+            "service_localization_latency_seconds",
+            "Wall-clock estimator processing latency per request",
+        )
+        self._g_cache_hit_rate = m.gauge(
+            "service_cache_hit_rate", "Interpolation cache hit fraction"
+        )
+        self._c_cache_hits = m.counter(
+            "service_cache_hits_total", "Interpolation cache hits"
+        )
+        self._c_cache_misses = m.counter(
+            "service_cache_misses_total", "Interpolation cache misses"
+        )
+        self._last_estimate: dict[str, tuple[float, float]] = {}
+        self._results: list[ServiceResult] = []
+
+    # -- request intake ------------------------------------------------------
+
+    def submit_request(self, tag_id: str, now_s: float) -> LocalizationRequest:
+        """Accept one localization query at service-clock time ``now_s``."""
+        deadline = None
+        if self.config.request_deadline_s is not None:
+            deadline = now_s + self.config.request_deadline_s
+        request = LocalizationRequest(
+            tag_id=str(tag_id), enqueued_at_s=float(now_s), deadline_s=deadline
+        )
+        self.batcher.submit(request)
+        self._c_requests.inc()
+        return request
+
+    # -- batch execution -----------------------------------------------------
+
+    def process_due(self, now_s: float) -> list[ServiceResult]:
+        """Execute every batch due at ``now_s``; returns their results."""
+        results: list[ServiceResult] = []
+        for batch in self.batcher.poll(now_s):
+            results.extend(self._execute_batch(batch, now_s))
+        return results
+
+    def drain(self, now_s: float) -> list[ServiceResult]:
+        """Flush and execute everything still pending (shutdown)."""
+        results: list[ServiceResult] = []
+        for batch in self.batcher.drain(now_s):
+            results.extend(self._execute_batch(batch, now_s))
+        return results
+
+    def _execute_batch(self, batch: Batch, now_s: float) -> list[ServiceResult]:
+        # Records buffered in the ingest queue become visible to every
+        # request in the batch at once — one delivery per batch is what
+        # batching buys on the middleware side. With the middleware state
+        # frozen for the whole batch, snapshot(tag, now_s) is a pure
+        # function of the tag, so duplicate-tag requests (bursty load,
+        # several clients asking about one popular tag) share a single
+        # snapshot assembly.
+        self.ingest.deliver_pending()
+        snapshots: dict[str, Any] = {}
+
+        def fetch(tag_id: str):
+            if tag_id not in snapshots:
+                try:
+                    snapshots[tag_id] = self.middleware.snapshot(tag_id, now_s)
+                except ReadingError:
+                    snapshots[tag_id] = None
+            return snapshots[tag_id]
+
+        results = []
+        for request in batch:
+            result = self._serve_one(request, now_s, fetch)
+            if result is not None:
+                results.append(result)
+        self._sync_cache_metrics()
+        return results
+
+    def _serve_one(
+        self,
+        request: LocalizationRequest,
+        now_s: float,
+        fetch: Callable[[str], Any],
+    ) -> ServiceResult | None:
+        t0 = self._perf_clock()
+        estimator_name = self.vire.name
+        degraded = False
+        reason: str | None = None
+        diagnostics: Mapping[str, Any] = {}
+        position: tuple[float, float] | None = None
+
+        past_deadline = (
+            request.deadline_s is not None and now_s > request.deadline_s
+        )
+        reading = fetch(request.tag_id)
+
+        if reading is None:
+            position = self._last_estimate.get(request.tag_id)
+            degraded, reason = True, "no_reading"
+            estimator_name = "last-known"
+            if position is None:
+                self._c_failed.inc()
+                log_event(
+                    self._logger, "request_failed",
+                    tag=request.tag_id, t=now_s, reason="no_reading",
+                )
+                return None
+        elif past_deadline:
+            # Too late for the expensive path: serve the cheap estimate.
+            base = self.fallback.estimate(reading)
+            position = base.position
+            degraded, reason = True, "deadline"
+            estimator_name = self.fallback.name
+            diagnostics = dict(base.diagnostics)
+        else:
+            try:
+                est = self.vire.estimate(reading)
+                position = est.position
+                diagnostics = dict(est.diagnostics)
+            except EstimationError:
+                base = self.fallback.estimate(reading)
+                position = base.position
+                degraded, reason = True, "empty_intersection"
+                estimator_name = self.fallback.name
+                diagnostics = dict(base.diagnostics)
+
+        latency = self._perf_clock() - t0
+        self._h_latency.observe(latency)
+        self._c_results.inc()
+        if degraded:
+            self._c_degraded.inc()
+            self._c_degraded_reason[reason].inc()
+            log_event(
+                self._logger, "request_degraded",
+                tag=request.tag_id, t=now_s, reason=reason,
+            )
+        self._last_estimate[request.tag_id] = position
+        result = ServiceResult(
+            tag_id=request.tag_id,
+            position=position,
+            estimator=estimator_name,
+            degraded=degraded,
+            reason=reason,
+            requested_at_s=request.enqueued_at_s,
+            completed_at_s=now_s,
+            processing_latency_s=latency,
+            diagnostics=diagnostics,
+        )
+        self._results.append(result)
+        return result
+
+    def _sync_cache_metrics(self) -> None:
+        if self.cache is None:
+            return
+        self._g_cache_hit_rate.set(self.cache.hit_rate)
+        # Counters mirror the cache's monotone totals.
+        self._c_cache_hits.inc(self.cache.hits - self._c_cache_hits.value)
+        self._c_cache_misses.inc(self.cache.misses - self._c_cache_misses.value)
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def results(self) -> tuple[ServiceResult, ...]:
+        """Every result served so far, in completion order."""
+        return tuple(self._results)
+
+    def metrics_summary(self) -> dict[str, float]:
+        """The headline numbers the ``serve`` command prints."""
+        degraded = self._c_degraded.value
+        served = self._c_results.value
+        return {
+            "requests": self._c_requests.value,
+            "results": served,
+            "failed": self._c_failed.value,
+            "degraded": degraded,
+            "degraded_fraction": degraded / served if served else 0.0,
+            "batches_flushed": float(self.batcher.batches_flushed),
+            "records_dropped": float(self.queue.dropped),
+            "queue_high_watermark": float(self.queue.high_watermark),
+            "cache_hit_rate": self.cache.hit_rate if self.cache else 0.0,
+            "cache_hits": float(self.cache.hits) if self.cache else 0.0,
+            "cache_misses": float(self.cache.misses) if self.cache else 0.0,
+            "latency_p50_s": self._h_latency.quantile(0.50),
+            "latency_p99_s": self._h_latency.quantile(0.99),
+        }

@@ -1,0 +1,254 @@
+"""Synchronous session facade over the streaming service.
+
+:class:`LocalizationService` is what tests, benchmarks and the CLI call:
+give it a :class:`~repro.experiments.scenarios.TestbedScenario` (or an
+environment name) and a duration, and it builds the deployment, taps the
+beacon stream, and drives the full asyncio pipeline to completion —
+deterministically, because every clock involved is seeded: simulation
+time doubles as the service clock, and the wall-clock used for latency
+histograms is injectable.
+
+Internally the session runs two cooperating asyncio tasks connected by a
+bounded tick queue (backpressure included):
+
+* the **producer** pulls record chunks off the simulator stream and
+  offers them to the ingestion queue;
+* the **dispatcher** wakes per tick, submits due localization queries to
+  the micro-batcher, and executes due batches.
+
+``asyncio.run`` hides all of that behind the synchronous
+:meth:`LocalizationService.run`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from ..exceptions import SimulationError
+from ..experiments.scenarios import TestbedScenario, paper_scenario
+from ..hardware.deployment import Deployment, build_paper_deployment
+from ..hardware.streams import SimulatorRecordStream
+from ..types import estimation_error
+from .metrics import MetricsRegistry, get_service_logger, log_event
+from .pipeline import ServiceConfig, ServicePipeline, ServiceResult
+
+__all__ = ["SessionReport", "LocalizationService"]
+
+
+@dataclass(frozen=True)
+class SessionReport:
+    """Everything one streaming session produced.
+
+    Attributes
+    ----------
+    results:
+        Every served localization, in completion order.
+    summary:
+        The pipeline's headline numbers (cache hit rate, batches
+        flushed, degraded count, latency quantiles, ...) plus session
+        totals (duration, records streamed, throughput).
+    metrics:
+        The full registry, for Prometheus rendering or JSON dumps.
+    errors_m:
+        Per-result localization error in metres against the deployment's
+        ground truth (same order as ``results``); empty when ground
+        truth is unavailable for a tag.
+    """
+
+    results: tuple[ServiceResult, ...]
+    summary: Mapping[str, float]
+    metrics: MetricsRegistry
+    errors_m: tuple[float, ...] = ()
+
+    @property
+    def mean_error_m(self) -> float:
+        """Mean localization error over results with ground truth."""
+        return sum(self.errors_m) / len(self.errors_m) if self.errors_m else float("nan")
+
+    def render_prometheus(self) -> str:
+        return self.metrics.render_prometheus()
+
+
+class LocalizationService:
+    """Drives the streaming pipeline over a seeded scenario.
+
+    Parameters
+    ----------
+    config:
+        Service knobs; defaults are sized for the paper's testbed.
+    perf_clock:
+        Monotonic clock used for latency measurement (injectable so a
+        test can make latency deterministic).
+    warmup_max_s:
+        Cap on the reference-coverage warm-up phase before queries start.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        perf_clock: Callable[[], float] = time.perf_counter,
+        warmup_max_s: float = 120.0,
+    ):
+        self.config = config or ServiceConfig()
+        self._perf_clock = perf_clock
+        self.warmup_max_s = float(warmup_max_s)
+        self._logger = get_service_logger()
+
+    # -- deployment assembly -------------------------------------------------
+
+    def build_deployment(self, scenario: TestbedScenario) -> Deployment:
+        """The event-driven testbed a session streams from."""
+        tracking = {
+            f"tag-{label}": pos for label, pos in scenario.tracking_tags.items()
+        }
+        return build_paper_deployment(
+            scenario.environment,
+            grid=scenario.grid,
+            tracking_tags=tracking,
+            seed=scenario.base_seed,
+        )
+
+    # -- the session ---------------------------------------------------------
+
+    def run(
+        self,
+        scenario: TestbedScenario | str,
+        duration_s: float,
+        *,
+        on_result: Callable[[ServiceResult], Any] | None = None,
+    ) -> SessionReport:
+        """Stream ``scenario`` for ``duration_s`` simulated seconds.
+
+        ``scenario`` may be a full :class:`TestbedScenario` or an
+        environment preset name (``"Env1"``/``"Env2"``/``"Env3"``).
+        ``on_result`` fires synchronously per served result — the CLI's
+        live table hook.
+        """
+        if isinstance(scenario, str):
+            scenario = paper_scenario(scenario, n_trials=1)
+        deployment = self.build_deployment(scenario)
+        simulator = deployment.simulator
+        pipeline = ServicePipeline(
+            deployment.grid,
+            simulator.middleware,
+            self.config,
+            perf_clock=self._perf_clock,
+        )
+        tag_ids = sorted(f"tag-{label}" for label in scenario.tracking_tags)
+        wall_start = self._perf_clock()
+
+        with SimulatorRecordStream(
+            simulator, step_s=self.config.stream_step_s
+        ) as stream:
+            self._warm_up(stream, pipeline)
+            start_s = simulator.now
+            log_event(
+                self._logger, "session_start",
+                tags=len(tag_ids), duration=duration_s, t=start_s,
+            )
+            asyncio.run(
+                self._session(stream, pipeline, tag_ids, duration_s, on_result)
+            )
+            end_s = simulator.now
+            for result in pipeline.drain(end_s):
+                if on_result is not None:
+                    on_result(result)
+
+        wall_s = self._perf_clock() - wall_start
+        summary = dict(pipeline.metrics_summary())
+        summary["session_duration_s"] = end_s - start_s
+        summary["records_streamed"] = float(stream.records_streamed)
+        summary["wall_time_s"] = wall_s
+        summary["localizations_per_s"] = (
+            summary["results"] / wall_s if wall_s > 0 else float("inf")
+        )
+        errors = tuple(
+            estimation_error(r.position, deployment.tracking_truth[r.tag_id])
+            for r in pipeline.results
+            if r.tag_id in deployment.tracking_truth
+        )
+        log_event(
+            self._logger, "session_end",
+            results=len(pipeline.results), wall_s=wall_s,
+        )
+        return SessionReport(
+            results=pipeline.results,
+            summary=summary,
+            metrics=pipeline.metrics,
+            errors_m=errors,
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _warm_up(
+        self, stream: SimulatorRecordStream, pipeline: ServicePipeline
+    ) -> float:
+        """Stream until every reader covers the reference grid.
+
+        Mirrors :meth:`TestbedSimulator.warm_up`, but routed through the
+        service's own ingestion queue (the simulator's direct middleware
+        path is disconnected while the stream taps the record sink).
+        """
+        simulator = stream.simulator
+        deadline = simulator.now + self.warmup_max_s
+        while simulator.now < deadline:
+            records = stream.advance(min(2.0, deadline - simulator.now))
+            pipeline.ingest.submit(records)
+            pipeline.ingest.deliver_pending()
+            coverage = pipeline.middleware.coverage(simulator.now)
+            if all(c >= 1.0 for c in coverage.values()):
+                return simulator.now
+        raise SimulationError(
+            f"reference coverage incomplete after {self.warmup_max_s}s of "
+            f"warm-up: {pipeline.middleware.coverage(simulator.now)}"
+        )
+
+    async def _session(
+        self,
+        stream: SimulatorRecordStream,
+        pipeline: ServicePipeline,
+        tag_ids: list[str],
+        duration_s: float,
+        on_result: Callable[[ServiceResult], Any] | None,
+    ) -> None:
+        """Producer/dispatcher task pair around a bounded tick queue.
+
+        Records travel *with* their tick rather than being offered to the
+        ingestion queue by the producer: the producer may run several
+        chunks of simulated time ahead of the dispatcher (up to the tick
+        queue's bound), and offering early would let a batch executing at
+        service time ``t`` observe readings stamped after ``t``. Keeping
+        submission on the dispatcher side guarantees causality: the
+        middleware never contains a record from the future.
+        """
+        ticks: asyncio.Queue[
+            tuple[float, list] | None
+        ] = asyncio.Queue(maxsize=8)
+        next_query = {tag: stream.simulator.now for tag in tag_ids}
+        interval = self.config.query_interval_s
+
+        async def produce() -> None:
+            for now_s, records in stream.iter_chunks(duration_s):
+                await ticks.put((now_s, records))  # bounded: backpressure
+            await ticks.put(None)
+
+        async def dispatch() -> None:
+            while True:
+                tick = await ticks.get()
+                if tick is None:
+                    return
+                now_s, records = tick
+                pipeline.ingest.submit(records)
+                for tag in tag_ids:
+                    if now_s >= next_query[tag]:
+                        pipeline.submit_request(tag, now_s)
+                        next_query[tag] = now_s + interval
+                for result in pipeline.process_due(now_s):
+                    if on_result is not None:
+                        on_result(result)
+
+        await asyncio.gather(produce(), dispatch())

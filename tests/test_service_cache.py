@@ -1,0 +1,167 @@
+"""Tests for the interpolation cache: accounting, LRU, bitwise identity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import VIREConfig, VIREEstimator
+from repro.core.estimator import LatticeCache
+from repro.core.interpolation import BilinearInterpolator
+from repro.core.virtual_grid import VirtualGrid
+from repro.exceptions import ConfigurationError
+from repro.service import InterpolationCache
+
+from .conftest import make_reading
+
+
+@pytest.fixture
+def vgrid(grid) -> VirtualGrid:
+    return VirtualGrid(grid, 5)
+
+
+def lattice(grid, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-70.0, -40.0, size=(grid.rows, grid.cols))
+
+
+class TestAccounting:
+    def test_miss_then_hit(self, grid, vgrid):
+        cache = InterpolationCache()
+        interp = BilinearInterpolator()
+        lat = lattice(grid)
+        first = cache.get_or_compute(lat, vgrid, interp)
+        second = cache.get_or_compute(lat.copy(), vgrid, interp)
+        assert cache.misses == 1
+        assert cache.hits == 1
+        assert cache.lookups == 2
+        assert cache.hit_rate == 0.5
+        np.testing.assert_array_equal(first, second)
+
+    def test_distinct_lattices_miss(self, grid, vgrid):
+        cache = InterpolationCache()
+        interp = BilinearInterpolator()
+        cache.get_or_compute(lattice(grid, 0), vgrid, interp)
+        cache.get_or_compute(lattice(grid, 1), vgrid, interp)
+        assert cache.misses == 2
+        assert cache.hits == 0
+
+    def test_hit_is_bitwise_identical_to_recomputation(self, grid, vgrid):
+        cache = InterpolationCache(quantization_db=0.0)
+        interp = BilinearInterpolator()
+        lat = lattice(grid)
+        direct = interp.interpolate(lat, vgrid)
+        cache.get_or_compute(lat, vgrid, interp)  # populate
+        cached = cache.get_or_compute(lat, vgrid, interp)  # hit
+        assert np.array_equal(cached, direct)
+        assert cached.tobytes() == direct.tobytes()
+
+    def test_result_is_readonly(self, grid, vgrid):
+        cache = InterpolationCache()
+        out = cache.get_or_compute(lattice(grid), vgrid, BilinearInterpolator())
+        with pytest.raises(ValueError):
+            out[0, 0] = 0.0
+
+    def test_stats_snapshot(self, grid, vgrid):
+        cache = InterpolationCache()
+        cache.get_or_compute(lattice(grid), vgrid, BilinearInterpolator())
+        stats = cache.stats()
+        assert stats["misses"] == 1
+        assert stats["entries"] == 1
+
+    def test_empty_hit_rate_zero(self):
+        assert InterpolationCache().hit_rate == 0.0
+
+
+class TestLRUEviction:
+    def test_capacity_enforced_lru(self, grid, vgrid):
+        cache = InterpolationCache(max_entries=2)
+        interp = BilinearInterpolator()
+        a, b, c = (lattice(grid, s) for s in (1, 2, 3))
+        cache.get_or_compute(a, vgrid, interp)
+        cache.get_or_compute(b, vgrid, interp)
+        cache.get_or_compute(a, vgrid, interp)  # refresh a
+        cache.get_or_compute(c, vgrid, interp)  # evicts b (LRU)
+        assert cache.evictions == 1
+        assert len(cache) == 2
+        cache.get_or_compute(a, vgrid, interp)
+        assert cache.hits == 2  # a still resident
+        cache.get_or_compute(b, vgrid, interp)
+        assert cache.misses == 4  # b was evicted
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            InterpolationCache(max_entries=0)
+        with pytest.raises(ConfigurationError):
+            InterpolationCache(quantization_db=-0.1)
+
+
+class TestQuantizedKeys:
+    def test_nearby_lattices_share_an_entry(self, grid, vgrid):
+        cache = InterpolationCache(quantization_db=0.5)
+        interp = BilinearInterpolator()
+        lat = lattice(grid)
+        cache.get_or_compute(lat, vgrid, interp)
+        cache.get_or_compute(lat + 0.01, vgrid, interp)
+        assert cache.hits == 1  # collapsed onto the same quantum
+
+    def test_far_lattices_do_not_collide(self, grid, vgrid):
+        cache = InterpolationCache(quantization_db=0.5)
+        interp = BilinearInterpolator()
+        lat = lattice(grid)
+        cache.get_or_compute(lat, vgrid, interp)
+        cache.get_or_compute(lat + 5.0, vgrid, interp)
+        assert cache.hits == 0
+
+
+class TestKeyScoping:
+    def test_different_virtual_grids_do_not_collide(self, grid):
+        cache = InterpolationCache()
+        interp = BilinearInterpolator()
+        lat = lattice(grid)
+        r1 = cache.get_or_compute(lat, VirtualGrid(grid, 3), interp)
+        r2 = cache.get_or_compute(lat, VirtualGrid(grid, 5), interp)
+        assert cache.misses == 2
+        assert r1.shape != r2.shape
+
+    def test_different_interpolators_do_not_collide(self, grid, vgrid):
+        from repro.core.interpolation import SplineInterpolator
+
+        cache = InterpolationCache()
+        lat = lattice(grid)
+        cache.get_or_compute(lat, vgrid, BilinearInterpolator())
+        cache.get_or_compute(lat, vgrid, SplineInterpolator())
+        assert cache.misses == 2
+
+
+class TestEstimatorInjection:
+    def test_satisfies_core_protocol(self):
+        assert isinstance(InterpolationCache(), LatticeCache)
+
+    def test_estimates_bitwise_identical_with_and_without_cache(
+        self, grid, clean_sampler
+    ):
+        config = VIREConfig(subdivisions=5)
+        plain = VIREEstimator(grid, config)
+        cache = InterpolationCache()
+        cached = VIREEstimator(grid, config, interpolation_cache=cache)
+        readings = [
+            clean_sampler.reading_for((x, y))
+            for x, y in [(0.4, 0.6), (1.3, 1.7), (2.6, 2.2)]
+        ]
+        # Repeat the stream so the cached estimator serves from cache.
+        for reading in readings * 3:
+            a = plain.estimate(reading)
+            b = cached.estimate(reading)
+            assert a.position == b.position  # exact float equality
+        assert cache.hits > 0
+
+    def test_cache_shared_across_estimators(self, grid, clean_reading):
+        cache = InterpolationCache()
+        config = VIREConfig(subdivisions=5)
+        e1 = VIREEstimator(grid, config, interpolation_cache=cache)
+        e2 = VIREEstimator(grid, config, interpolation_cache=cache)
+        e1.estimate(clean_reading)
+        misses_after_first = cache.misses
+        e2.estimate(clean_reading)
+        assert cache.misses == misses_after_first  # all hits on the second

@@ -1,0 +1,159 @@
+"""Tests for repro.service.metrics: primitives, registry, exposition, logging."""
+
+from __future__ import annotations
+
+import logging
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.service.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_service_logger,
+    log_event,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("requests_total")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_cannot_decrease(self):
+        c = Counter("requests_total")
+        with pytest.raises(ConfigurationError):
+            c.inc(-1)
+
+    def test_rejects_bad_names(self):
+        with pytest.raises(ConfigurationError):
+            Counter("bad name")
+        with pytest.raises(ConfigurationError):
+            Counter("9starts_with_digit")
+        with pytest.raises(ConfigurationError):
+            Counter("")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("queue_depth")
+        g.set(7)
+        g.inc(3)
+        g.dec(5)
+        assert g.value == 5
+
+
+class TestHistogram:
+    def test_bucket_counts_are_cumulative(self):
+        h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        samples = dict(h.samples())
+        assert samples['lat_bucket{le="1"}'] == 1
+        assert samples['lat_bucket{le="2"}'] == 2
+        assert samples['lat_bucket{le="4"}'] == 3
+        assert samples['lat_bucket{le="+Inf"}'] == 4
+        assert samples["lat_count"] == 4
+        assert samples["lat_sum"] == pytest.approx(105.0)
+
+    def test_boundary_lands_in_its_bucket(self):
+        # le= semantics: a value equal to the bound belongs to that bucket.
+        h = Histogram("lat", buckets=(1.0, 2.0))
+        h.observe(1.0)
+        samples = dict(h.samples())
+        assert samples['lat_bucket{le="1"}'] == 1
+
+    def test_quantiles_exact(self):
+        h = Histogram("lat", buckets=(10.0,))
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.quantile(0.50) == 50.0
+        assert h.quantile(0.99) == 99.0
+        assert h.quantile(1.0) == 100.0
+        assert h.quantile(0.0) == 1.0
+
+    def test_empty_quantile_is_nan(self):
+        assert math.isnan(Histogram("lat", buckets=(1.0,)).quantile(0.5))
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("lat", buckets=(2.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            Histogram("lat", buckets=())
+
+    def test_rejects_non_finite_observation(self):
+        h = Histogram("lat", buckets=(1.0,))
+        with pytest.raises(ConfigurationError):
+            h.observe(float("nan"))
+
+
+class TestRegistry:
+    def test_idempotent_creation(self):
+        reg = MetricsRegistry("svc")
+        c1 = reg.counter("hits_total")
+        c2 = reg.counter("hits_total")
+        assert c1 is c2
+
+    def test_namespace_prefix(self):
+        reg = MetricsRegistry("svc")
+        assert reg.counter("hits_total").name == "svc_hits_total"
+
+    def test_type_clash_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("x_total")
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().get("nope")
+
+    def test_prometheus_rendering(self):
+        reg = MetricsRegistry("repro")
+        reg.counter("requests_total", "Requests served").inc(3)
+        reg.gauge("depth").set(1.5)
+        reg.histogram("lat", buckets=(0.1, 1.0)).observe(0.05)
+        text = reg.render_prometheus()
+        assert "# HELP repro_requests_total Requests served" in text
+        assert "# TYPE repro_requests_total counter" in text
+        assert "repro_requests_total 3" in text
+        assert "repro_depth 1.5" in text
+        assert 'repro_lat_bucket{le="0.1"} 1' in text
+        assert 'repro_lat_bucket{le="+Inf"} 1' in text
+        assert "repro_lat_count 1" in text
+        assert text.endswith("\n")
+
+    def test_to_dict_histogram_quantiles(self):
+        reg = MetricsRegistry("r")
+        h = reg.histogram("lat")
+        for v in (0.1, 0.2, 0.3):
+            h.observe(v)
+        d = reg.to_dict()
+        assert d["r_lat"]["count"] == 3
+        assert d["r_lat"]["p50"] == 0.2
+
+
+class TestStructuredLogging:
+    def test_log_event_format(self, caplog):
+        logger = get_service_logger()
+        with caplog.at_level(logging.INFO, logger=logger.name):
+            log_event(logger, "batch_flush", size=8, reason="size",
+                      note="two words")
+        assert len(caplog.records) == 1
+        message = caplog.records[0].getMessage()
+        assert message.startswith("event=batch_flush ")
+        assert "size=8" in message
+        assert "reason=size" in message
+        assert 'note="two words"' in message
+
+    def test_disabled_logger_skips_formatting(self, caplog):
+        logger = get_service_logger()
+        with caplog.at_level(logging.ERROR, logger=logger.name):
+            log_event(logger, "noisy", level=logging.DEBUG)
+        assert not caplog.records

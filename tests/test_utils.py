@@ -16,7 +16,7 @@ from repro.utils.ascii import (
     line_chart,
     proximity_map_art,
 )
-from repro.utils.parallel import map_trials, resolve_n_jobs
+from repro.utils.parallel import compute_chunksize, map_trials, resolve_n_jobs
 from repro.utils.rng import derive_rng, derive_seed, rngs_for, spawn_rngs
 from repro.utils.validation import (
     ensure_finite,
@@ -223,5 +223,30 @@ class TestParallel:
             map_trials(lambda i: i, ["a"])  # type: ignore[list-item]
 
 
+class TestChunksize:
+    def test_targets_per_worker_chunks(self):
+        assert compute_chunksize(1000, 4) == 62  # 1000 // (4*4)
+        assert compute_chunksize(1000, 4, per_worker=2) == 125
+
+    def test_floors_at_one(self):
+        assert compute_chunksize(3, 8) == 1
+        assert compute_chunksize(0, 4) == 1
+        assert compute_chunksize(10, 0) == 1
+
+    def test_chunked_dispatch_is_bit_identical_to_serial(self):
+        # 32 items over 2 workers → chunksize 4: chunked pickling must not
+        # change any per-index result, down to the last float bit.
+        indices = range(32)
+        serial = map_trials(_seeded_draw, indices, n_jobs=1)
+        chunked = map_trials(_seeded_draw, indices, n_jobs=2)
+        assert compute_chunksize(32, 2) > 1  # the pool really chunks
+        assert chunked == serial  # exact float equality, in order
+
+
 def _square(i: int) -> int:
     return i * i
+
+
+def _seeded_draw(i: int) -> tuple[float, float]:
+    rng = np.random.default_rng(i)
+    return (float(rng.standard_normal()), float(rng.uniform()))
