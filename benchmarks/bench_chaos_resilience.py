@@ -1,0 +1,134 @@
+"""Resilience of the degraded-mode service under injected faults.
+
+Two questions, both tied to the PR's acceptance bar:
+
+1. **Single-reader outage** — with one of the four readers hard-down
+   for most of the session, the partial-snapshot pipeline (quorum +
+   VIRE-on-surviving-subset) must keep availability >= 99% with mean
+   error within 2x of the fault-free run. The strict pipeline
+   (``allow_partial=False``, the pre-faults behaviour) is measured next
+   to it to show what the ladder buys.
+2. **Intensity sweep** — availability and error across the chaos
+   presets (none/light/moderate/severe), quantifying how the service
+   decays as faults compound.
+
+Run it via pytest (prints the JSON report)::
+
+    pytest benchmarks/bench_chaos_resilience.py -s
+
+or standalone (also writes benchmarks/chaos_resilience.json)::
+
+    PYTHONPATH=src python benchmarks/bench_chaos_resilience.py
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import FaultPlan, ReaderOutageFault, ServiceConfig, chaos_preset
+from repro.service import LocalizationService
+
+try:
+    from .conftest import emit
+except ImportError:  # standalone: python benchmarks/bench_chaos_resilience.py
+
+    def emit(title: str, body: str) -> None:
+        bar = "=" * 72
+        print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+DURATION_S = 60.0
+SEED = 0
+ENV = "Env1"
+
+#: One reader dies shortly after serving starts and stays dead well past
+#: the middleware's 30s staleness horizon.
+OUTAGE = ReaderOutageFault(
+    reader_id="reader-0", start_s=8.0, duration_s=float("inf")
+)
+
+
+def _run(plan: FaultPlan | None, *, allow_partial: bool = True) -> dict:
+    config = ServiceConfig(query_interval_s=1.0, allow_partial=allow_partial)
+    report = LocalizationService(config).run(ENV, DURATION_S, fault_plan=plan)
+    s = report.summary
+    reasons: dict[str, int] = {}
+    for result in report.results:
+        if result.reason is not None:
+            reasons[result.reason] = reasons.get(result.reason, 0) + 1
+    return {
+        "requests": int(s["requests"]),
+        "results": int(s["results"]),
+        "availability": round(s["availability"], 6),
+        "degraded": int(s["degraded"]),
+        "degraded_reasons": {k: reasons[k] for k in sorted(reasons)},
+        "breaker_transitions": int(s["breaker_transitions"]),
+        "mean_error_m": round(report.mean_error_m, 4),
+        "records_dropped_by_faults": int(s.get("fault_records_dropped", 0)),
+    }
+
+
+def run_benchmark() -> dict:
+    fault_free = _run(None)
+
+    outage_plan = FaultPlan(faults=(OUTAGE,), seed=SEED)
+    outage_partial = _run(outage_plan)
+    outage_strict = _run(outage_plan, allow_partial=False)
+
+    sweep = {
+        preset: _run(chaos_preset(preset, seed=SEED))
+        for preset in ("none", "light", "moderate", "severe")
+    }
+
+    report = {
+        "env": ENV,
+        "seed": SEED,
+        "duration_s": DURATION_S,
+        "fault_free": fault_free,
+        "single_reader_outage": {
+            "partial": outage_partial,
+            "strict": outage_strict,
+        },
+        "preset_sweep": sweep,
+        "acceptance": {
+            "availability_floor": 0.99,
+            "error_ratio_ceiling": 2.0,
+            "availability_ok": outage_partial["availability"] >= 0.99,
+            "error_ratio": round(
+                outage_partial["mean_error_m"] / fault_free["mean_error_m"], 4
+            ),
+            "error_ratio_ok": (
+                outage_partial["mean_error_m"]
+                <= 2.0 * fault_free["mean_error_m"]
+            ),
+        },
+    }
+    return report
+
+
+def test_chaos_resilience_benchmark():
+    report = run_benchmark()
+    emit("chaos resilience", json.dumps(report, indent=2))
+    acc = report["acceptance"]
+    assert acc["availability_ok"], (
+        "availability under single-reader outage fell below 99%: "
+        f"{report['single_reader_outage']['partial']['availability']}"
+    )
+    assert acc["error_ratio_ok"], (
+        f"degraded-mode error ratio {acc['error_ratio']} exceeds 2x fault-free"
+    )
+    # The subset path must actually be exercised, not accidentally healthy.
+    assert (
+        report["single_reader_outage"]["partial"]["degraded_reasons"].get(
+            "partial_readers", 0
+        )
+        > 0
+    )
+
+
+if __name__ == "__main__":
+    out = run_benchmark()
+    emit("chaos resilience", json.dumps(out, indent=2))
+    with open("benchmarks/chaos_resilience.json", "w") as fh:
+        json.dump(out, fh, indent=2)
+        fh.write("\n")
+    print("wrote benchmarks/chaos_resilience.json")

@@ -85,6 +85,18 @@ from .core import (
     BoundaryAwareEstimator,
     IrregularVirtualGrid,
     IrregularVIREEstimator,
+    QuorumPolicy,
+)
+from .faults import (
+    FaultPlan,
+    FaultInjector,
+    FaultEvent,
+    chaos_preset,
+    ReaderOutageFault,
+    BurstLossFault,
+    TagDeathFault,
+    CalibrationDriftFault,
+    DelayFault,
 )
 from .tracking import (
     Trajectory,
@@ -143,7 +155,11 @@ __all__ = [
     # core (VIRE)
     "VIREEstimator", "SoftVIREEstimator", "VIREConfig", "VirtualGrid",
     "BoundaryAwareEstimator",
-    "IrregularVirtualGrid", "IrregularVIREEstimator",
+    "IrregularVirtualGrid", "IrregularVIREEstimator", "QuorumPolicy",
+    # faults (chaos engineering)
+    "FaultPlan", "FaultInjector", "FaultEvent", "chaos_preset",
+    "ReaderOutageFault", "BurstLossFault", "TagDeathFault",
+    "CalibrationDriftFault", "DelayFault",
     # tracking (mobility)
     "Trajectory", "TagTracker", "KalmanFilter2D", "AlphaBetaFilter",
     "MovingAverageFilter", "NoFilter", "evaluate_track",

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..exceptions import ConfigurationError
+from ..exceptions import ConfigurationError, EstimationError
 from ..types import EstimateResult, TrackingReading
 from ..utils.validation import ensure_positive_int
 
@@ -31,9 +31,50 @@ def rssi_space_distances(reading: TrackingReading, *, ord: float = 2.0) -> np.nd
 
     ``ord`` selects the vector norm across readers (2 = the papers'
     Euclidean E).
+
+    Masked readings (NaN reference entries from degraded deployments)
+    use a coverage-rescaled distance: for reference tag ``j`` with only
+    ``m_j`` of the ``K`` reader readings present,
+
+    ``E_j = (K / m_j * sum_present |diff|^ord)^(1/ord)``
+
+    — the mean per-reader contribution extrapolated to all K readers, so
+    tags compared over fewer readers are not artificially "closer". A
+    reference tag with *no* present readings gets ``inf`` (never a
+    neighbour).
+
+    Per-reader contributions are summed in a *canonical* (sorted) order,
+    making the result bitwise invariant under reader permutation.
+    Floating-point addition is not associative: summing in storage order
+    lets near-tied distances differ in the last ULP between reader
+    orderings, which can flip the k-NN tie-break and move the estimate
+    by whole cells (caught by the reader-permutation property test).
+    Non-finite ``ord`` (max/min norms) is order-invariant by nature and
+    delegates to :func:`numpy.linalg.norm`.
     """
     diff = reading.reference_rssi - reading.tracking_rssi[:, np.newaxis]
-    return np.linalg.norm(diff, ord=ord, axis=0)
+    present = np.isfinite(diff)
+    if present.all():
+        if not np.isfinite(ord):
+            return np.linalg.norm(diff, ord=ord, axis=0)
+        if ord <= 0:
+            raise ConfigurationError(
+                f"ord must be positive or +/-inf, got {ord}"
+            )
+        contrib = np.sort(np.abs(diff) ** ord, axis=0)
+        return contrib.sum(axis=0) ** (1.0 / ord)
+    if not np.isfinite(ord) or ord <= 0:
+        raise ConfigurationError(
+            f"masked readings require a finite positive ord, got {ord}"
+        )
+    k = diff.shape[0]
+    counts = present.sum(axis=0)  # (n_refs,)
+    contrib = np.sort(np.abs(np.where(present, diff, 0.0)) ** ord, axis=0)
+    sums = contrib.sum(axis=0)
+    out = np.full(diff.shape[1], np.inf)
+    has_any = counts > 0
+    out[has_any] = (k / counts[has_any] * sums[has_any]) ** (1.0 / ord)
+    return out
 
 
 class LandmarcEstimator:
@@ -60,6 +101,11 @@ class LandmarcEstimator:
         n_refs = reading.n_references
         k = min(self.k, n_refs)
         e = rssi_space_distances(reading)
+        if not np.any(np.isfinite(e)):
+            raise EstimationError(
+                "no reference tag shares a present RSSI reading with the "
+                "tracking tag; LANDMARC cannot rank neighbours"
+            )
 
         # k smallest E values (argpartition avoids a full sort).
         if k < n_refs:

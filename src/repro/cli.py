@@ -15,6 +15,13 @@ Commands
     Run the real-time streaming localization service over a seeded
     scenario: live result table, then the metrics dump (cache hit rate,
     batches flushed, degraded requests, latency quantiles).
+``chaos``
+    Run the streaming service under a seeded fault plan (reader
+    outages, burst loss, tag deaths, calibration drift, delays) and
+    report availability, degradation-ladder usage and accuracy. With
+    ``--json`` the output is a deterministic JSON document: running the
+    same command twice must print byte-identical JSON, which the CI
+    chaos-smoke job asserts.
 """
 
 from __future__ import annotations
@@ -109,6 +116,33 @@ def build_parser() -> argparse.ArgumentParser:
                      help="suppress the live per-result rows")
     srv.add_argument("--prometheus", action="store_true",
                      help="append the full Prometheus text exposition")
+
+    cha = sub.add_parser(
+        "chaos", help="streaming service under an injected fault plan"
+    )
+    cha.add_argument("--env", default="Env1", choices=["Env1", "Env2", "Env3"])
+    cha.add_argument("--duration", type=float, default=45.0,
+                     help="streamed session length in simulated seconds "
+                          "(middleware staleness horizon is 30s, so runs "
+                          "longer than that exercise the full ladder)")
+    cha.add_argument("--seed", type=int, default=0,
+                     help="seed for both the scenario and the fault plan")
+    cha.add_argument("--preset", default="moderate",
+                     choices=["none", "light", "moderate", "severe"],
+                     help="fault-plan intensity preset")
+    cha.add_argument("--outage-reader", default=None,
+                     help="add a hard outage of this reader id "
+                          "(e.g. reader-0) on top of the preset")
+    cha.add_argument("--outage-start", type=float, default=8.0,
+                     help="outage start (simulated seconds)")
+    cha.add_argument("--outage-duration", type=float, default=30.0,
+                     help="outage length (simulated seconds)")
+    cha.add_argument("--query-interval", type=float, default=1.0,
+                     help="per-tag localization query period")
+    cha.add_argument("--strict", action="store_true",
+                     help="disable partial snapshots (pre-faults behaviour)")
+    cha.add_argument("--json", action="store_true",
+                     help="print a deterministic JSON summary (CI smoke)")
 
     hm = sub.add_parser("heatmap", help="spatial error map of an estimator")
     hm.add_argument("--env", default="Env3", choices=["Env1", "Env2", "Env3"])
@@ -261,6 +295,88 @@ def _cmd_serve(args) -> str:
     return "\n".join(lines)
 
 
+def _cmd_chaos(args) -> str:
+    import json as _json
+
+    from .experiments.scenarios import paper_scenario
+    from .faults import FaultPlan, ReaderOutageFault, chaos_preset
+    from .service import LocalizationService, ServiceConfig
+
+    plan = chaos_preset(args.preset, seed=args.seed)
+    if args.outage_reader is not None:
+        plan = plan.with_fault(
+            ReaderOutageFault(
+                reader_id=args.outage_reader,
+                start_s=args.outage_start,
+                duration_s=args.outage_duration,
+            )
+        )
+    config = ServiceConfig(
+        query_interval_s=args.query_interval,
+        allow_partial=not args.strict,
+    )
+    scenario = paper_scenario(args.env, n_trials=1, base_seed=args.seed)
+    report = LocalizationService(config).run(
+        scenario, args.duration, fault_plan=plan
+    )
+    s = report.summary
+    reasons: dict[str, int] = {}
+    for result in report.results:
+        if result.reason is not None:
+            reasons[result.reason] = reasons.get(result.reason, 0) + 1
+
+    if args.json:
+        # Deterministic fields only (no wall-clock): same seed ⇒ the CI
+        # smoke job must see byte-identical output across repeat runs.
+        doc = {
+            "env": args.env,
+            "seed": args.seed,
+            "preset": args.preset,
+            "duration_s": args.duration,
+            "faults": len(plan),
+            "requests": int(s["requests"]),
+            "results": int(s["results"]),
+            "failed": int(s["failed"]),
+            "degraded": int(s["degraded"]),
+            "degraded_reasons": {k: reasons[k] for k in sorted(reasons)},
+            "availability": round(s["availability"], 9),
+            "mean_error_m": round(report.mean_error_m, 9),
+            "records_streamed": int(s["records_streamed"]),
+            "fault_records": {
+                key.removeprefix("fault_records_"): int(value)
+                for key, value in sorted(s.items())
+                if key.startswith("fault_records_")
+            },
+            "frames_received": int(s["frames_received"]),
+            "frames_dropped": int(s["frames_dropped"]),
+            "breaker_transitions": int(s["breaker_transitions"]),
+        }
+        return _json.dumps(doc, sort_keys=True, indent=2)
+
+    lines = [
+        f"chaos session ({args.env}, preset {args.preset}, seed {args.seed}, "
+        f"{args.duration:g}s):",
+        f"  fault plan           {len(plan)} fault(s): {plan.describe()}",
+        f"  requests             {s['requests']:.0f}"
+        f"  (answered {s['results']:.0f}, failed {s['failed']:.0f})",
+        f"  availability         {100 * s['availability']:.2f}%",
+        f"  degraded             {s['degraded']:.0f} "
+        f"({100 * s['degraded_fraction']:.1f}%)"
+        + (f"  by reason: {reasons}" if reasons else ""),
+        f"  fault records        seen {s.get('fault_records_seen', 0):.0f}, "
+        f"dropped {s.get('fault_records_dropped', 0):.0f}, "
+        f"modified {s.get('fault_records_modified', 0):.0f}, "
+        f"delayed {s.get('fault_records_delayed', 0):.0f}",
+        f"  frames               received {s['frames_received']:.0f}, "
+        f"dropped {s['frames_dropped']:.0f}",
+        f"  breaker transitions  {s['breaker_transitions']:.0f} "
+        f"(open readers at end: {s['open_readers']:.0f})",
+        f"  mean error           {report.mean_error_m:.3f} m "
+        f"over {len(report.errors_m)} ground-truth results",
+    ]
+    return "\n".join(lines)
+
+
 def _cmd_heatmap(args) -> str:
     from .analysis import format_heatmap, spatial_error_map
     from .core.soft import SoftVIREEstimator
@@ -291,6 +407,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "track": _cmd_track,
     "serve": _cmd_serve,
+    "chaos": _cmd_chaos,
     "heatmap": _cmd_heatmap,
 }
 

@@ -28,9 +28,11 @@ from .interpolation import (
     BilinearInterpolator,
     PolynomialInterpolator,
     SplineInterpolator,
+    fill_masked_lattice,
     make_interpolator,
 )
 from .proximity import ProximityMap, build_proximity_maps
+from .quorum import QuorumDecision, QuorumPolicy
 from .elimination import eliminate, vote_map
 from .threshold import AdaptiveThresholdSelector, minimal_feasible_threshold
 from .weighting import combine_weights, compute_w1, compute_w2
@@ -46,8 +48,11 @@ __all__ = [
     "PolynomialInterpolator",
     "SplineInterpolator",
     "make_interpolator",
+    "fill_masked_lattice",
     "ProximityMap",
     "build_proximity_maps",
+    "QuorumDecision",
+    "QuorumPolicy",
     "eliminate",
     "vote_map",
     "AdaptiveThresholdSelector",

@@ -19,8 +19,9 @@ from ..geometry.grid import ReferenceGrid
 from ..types import EstimateResult, TrackingReading
 from .config import VIREConfig
 from .elimination import eliminate
-from .interpolation import make_interpolator
+from .interpolation import fill_masked_lattice, make_interpolator
 from .proximity import build_proximity_maps, rssi_deviations
+from .quorum import QuorumDecision, QuorumPolicy
 from .threshold import minimal_feasible_threshold
 from .virtual_grid import VirtualGrid
 from .weighting import combine_weights, compute_w1, compute_w2
@@ -64,6 +65,14 @@ class VIREEstimator:
         every interpolation — bit-identical behaviour to the cacheless
         estimator. The streaming service injects
         :class:`repro.service.cache.InterpolationCache` here.
+    quorum:
+        :class:`~repro.core.quorum.QuorumPolicy` applied to *masked*
+        readings (degraded deployments): readers with too little
+        reference coverage are excluded, and the estimate is refused
+        (:class:`~repro.exceptions.EstimationError`) when too few
+        readers survive. Defaults to ``QuorumPolicy()``. Strict
+        (unmasked) readings never touch this path, so healthy behaviour
+        is bit-identical to earlier versions.
 
     Notes
     -----
@@ -82,10 +91,12 @@ class VIREEstimator:
         config: VIREConfig | None = None,
         *,
         interpolation_cache: LatticeCache | None = None,
+        quorum: QuorumPolicy | None = None,
     ):
         self.grid = grid
         self.config = config or VIREConfig()
         self.interpolation_cache = interpolation_cache
+        self.quorum = quorum or QuorumPolicy()
         if self.config.target_total_tags is not None:
             self.virtual_grid = VirtualGrid.for_target_count(
                 grid,
@@ -116,13 +127,22 @@ class VIREEstimator:
             )
 
     def interpolate_reading(self, reading: TrackingReading) -> np.ndarray:
-        """Per-reader virtual RSSI tensor ``(K, v_rows, v_cols)``."""
+        """Per-reader virtual RSSI tensor ``(K, v_rows, v_cols)``.
+
+        Masked readings get their NaN lattice holes imputed
+        (:func:`~repro.core.interpolation.fill_masked_lattice`) before
+        interpolation, so the interpolators — and the interpolation
+        cache, which keys on lattice bytes — only ever see finite
+        lattices. Fully finite lattices pass through the fill untouched.
+        """
         self._check_layout(reading)
         k = reading.n_readers
         cache = self.interpolation_cache
         out = np.empty((k, *self.virtual_grid.shape))
         for i in range(k):
             lattice = self.grid.lattice_from_flat(reading.reference_rssi[i])
+            if reading.masked:
+                lattice = fill_masked_lattice(lattice)
             if cache is not None:
                 out[i] = cache.get_or_compute(
                     lattice, self.virtual_grid, self._interpolator
@@ -150,11 +170,27 @@ class VIREEstimator:
     # -- the estimate --------------------------------------------------------
 
     def estimate(self, reading: TrackingReading) -> EstimateResult:
+        decision: QuorumDecision | None = None
+        min_votes = self.config.min_votes
+        if reading.masked:
+            # Degraded input: enforce the quorum, trim to survivors.
+            # Raises EstimationError when too few readers remain — the
+            # service layer catches that and falls down its ladder.
+            decision = self.quorum.apply(reading)
+            reading = decision.reading
+            # A surviving subset may have fewer readers than an explicit
+            # vote count; intersecting over all survivors is the honest
+            # maximum evidence available. (None already means "all
+            # readers" and adapts to the subset by itself.)
+            if min_votes is not None:
+                min_votes = min(min_votes, reading.n_readers)
+        quorum_diag = decision.diagnostics() if decision is not None else {}
+
         virtual = self.interpolate_reading(reading)
         deviations = rssi_deviations(virtual, reading.tracking_rssi)
         threshold = self.select_threshold(deviations)
         maps = build_proximity_maps(deviations, threshold)
-        selected = eliminate(maps, min_votes=self.config.min_votes)
+        selected = eliminate(maps, min_votes=min_votes)
 
         fallback_used = None
         if not selected.any():
@@ -172,6 +208,7 @@ class VIREEstimator:
                         "fallback": "landmarc",
                         "threshold_db": threshold,
                         "n_selected": 0,
+                        **quorum_diag,
                     },
                 )
             # "relax": locally raise the threshold to the minimal feasible
@@ -181,7 +218,7 @@ class VIREEstimator:
                 deviations, min_cells=self.config.min_cells
             )
             maps = build_proximity_maps(deviations, threshold)
-            selected = eliminate(maps, min_votes=self.config.min_votes)
+            selected = eliminate(maps, min_votes=min_votes)
 
         w1 = compute_w1(
             deviations,
@@ -209,16 +246,22 @@ class VIREEstimator:
                 "map_areas": [m.area for m in maps],
                 "fallback": fallback_used,
                 "total_virtual_tags": self.virtual_grid.total_tags,
+                **quorum_diag,
             },
         )
 
     def selection_mask(self, reading: TrackingReading) -> np.ndarray:
         """The surviving-cell mask for one reading (for visualization)."""
+        min_votes = self.config.min_votes
+        if reading.masked:
+            reading = self.quorum.apply(reading).reading
+            if min_votes is not None:
+                min_votes = min(min_votes, reading.n_readers)
         virtual = self.interpolate_reading(reading)
         deviations = rssi_deviations(virtual, reading.tracking_rssi)
         threshold = self.select_threshold(deviations)
         maps = build_proximity_maps(deviations, threshold)
-        return eliminate(maps, min_votes=self.config.min_votes)
+        return eliminate(maps, min_votes=min_votes)
 
     def __repr__(self) -> str:
         return (

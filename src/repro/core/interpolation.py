@@ -39,7 +39,78 @@ __all__ = [
     "PolynomialInterpolator",
     "SplineInterpolator",
     "make_interpolator",
+    "fill_masked_lattice",
 ]
+
+
+def fill_masked_lattice(
+    lattice: np.ndarray,
+    *,
+    min_coverage: float = 0.25,
+) -> np.ndarray:
+    """Impute NaN holes in an RSSI lattice from surviving real tags.
+
+    Degraded deployments (dead reference tags, lossy reader links)
+    produce lattices with missing entries; the interpolators require
+    finite input, so masked estimation first *fills* the holes: missing
+    cells adjacent (4-neighbourhood) to known cells take the mean of
+    their known neighbours, then the frontier advances until the lattice
+    is full. The fill is deterministic (Jacobi-style synchronous sweeps:
+    each wave is computed from the previous wave only, so fill order
+    cannot matter) and exact at every surviving real tag.
+
+    Parameters
+    ----------
+    lattice:
+        ``(rows, cols)`` RSSI lattice, NaN where the value is missing.
+    min_coverage:
+        Minimum fraction of present values required; below this the
+        surface is guesswork and a
+        :class:`~repro.exceptions.ConfigurationError` is raised.
+
+    Returns
+    -------
+    A fully finite lattice. Already-finite input is returned unchanged
+    (same object), preserving bit-identical behaviour on healthy data.
+    """
+    arr = np.asarray(lattice, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ConfigurationError(
+            f"lattice must be 2-D, got shape {arr.shape}"
+        )
+    finite = np.isfinite(arr)
+    if finite.all():
+        return arr
+    coverage = float(finite.mean())
+    if coverage < min_coverage:
+        raise ConfigurationError(
+            f"masked lattice coverage {coverage:.2f} below the "
+            f"{min_coverage:.2f} floor — too few surviving reference tags"
+        )
+    filled = np.where(finite, arr, 0.0)
+    known = finite.copy()
+    while not known.all():
+        # One synchronous wave: neighbour sums/counts over *known* cells.
+        padded_vals = np.pad(np.where(known, filled, 0.0), 1)
+        padded_known = np.pad(known.astype(np.float64), 1)
+        neighbour_sum = (
+            padded_vals[:-2, 1:-1]
+            + padded_vals[2:, 1:-1]
+            + padded_vals[1:-1, :-2]
+            + padded_vals[1:-1, 2:]
+        )
+        neighbour_cnt = (
+            padded_known[:-2, 1:-1]
+            + padded_known[2:, 1:-1]
+            + padded_known[1:-1, :-2]
+            + padded_known[1:-1, 2:]
+        )
+        frontier = (~known) & (neighbour_cnt > 0)
+        if not frontier.any():  # pragma: no cover - disconnected lattice
+            raise ConfigurationError("masked lattice fill cannot progress")
+        filled[frontier] = neighbour_sum[frontier] / neighbour_cnt[frontier]
+        known |= frontier
+    return filled
 
 
 @runtime_checkable

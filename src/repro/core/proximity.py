@@ -5,6 +5,13 @@ virtual reference tags; a region is marked (``1``) when the absolute
 difference between its interpolated RSSI and the tracking tag's RSSI at
 that reader is below the threshold. "Each reader will maintain its own
 proximity map."
+
+Masked inputs: deviation tensors may contain NaN where a virtual RSSI
+value is unknown (degraded deployments). A NaN deviation is *never* a
+candidate — unknown signal strength cannot place the tag — and the
+comparison is computed only over finite entries so no floating-point
+warnings leak. On fully finite input the masks are bit-identical to the
+naive ``dev <= threshold``.
 """
 
 from __future__ import annotations
@@ -99,9 +106,17 @@ def build_proximity_maps(
     thr = np.broadcast_to(np.asarray(thresholds, dtype=np.float64), (k,))
     if np.any(thr < 0):
         raise ConfigurationError("thresholds must be non-negative")
-    return [
-        ProximityMap(
-            mask=dev[i] <= thr[i], threshold_db=float(thr[i]), reader_index=i
+    finite = np.isfinite(dev)
+    maps: list[ProximityMap] = []
+    for i in range(k):
+        if finite[i].all():
+            mask = dev[i] <= thr[i]
+        else:
+            # Masked deviations: only finite entries can qualify.
+            mask = np.zeros(dev.shape[1:], dtype=bool)
+            sel = finite[i]
+            mask[sel] = dev[i][sel] <= thr[i]
+        maps.append(
+            ProximityMap(mask=mask, threshold_db=float(thr[i]), reader_index=i)
         )
-        for i in range(k)
-    ]
+    return maps

@@ -1,0 +1,145 @@
+"""Quorum policy for degraded-mode localization.
+
+When readers fail (outage, burst loss) or reference tags die, the
+middleware can still assemble a *partial* snapshot
+(``MiddlewareServer.snapshot(..., allow_partial=True)``): some readers
+absent, some reference columns NaN. :class:`QuorumPolicy` decides
+whether that partial reading is still good enough to run VIRE on, and
+trims it to the surviving-reader subset:
+
+* every surviving reader must know at least
+  ``min_reference_coverage`` of the reference lattice (otherwise its
+  interpolated surface is guesswork and it is excluded), and
+* at least ``min_readers`` readers must survive the coverage cut
+  (a single reader cannot disambiguate position in 2-D).
+
+``apply`` is a pure function of the reading — no state, no randomness —
+so the degraded-mode pipeline stays as deterministic as the healthy one.
+Complete readings pass through untouched (same object), preserving
+bit-identical behaviour on healthy data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, EstimationError
+from ..types import TrackingReading
+
+__all__ = ["QuorumPolicy", "QuorumDecision"]
+
+
+@dataclass(frozen=True)
+class QuorumDecision:
+    """Outcome of one quorum evaluation (diagnostics for the service layer).
+
+    Attributes
+    ----------
+    reading:
+        The (possibly reader-subset) reading to estimate from.
+    surviving_readers:
+        Indices *into the input reading* of the readers kept.
+    excluded_readers:
+        Indices of readers dropped for insufficient reference coverage.
+    coverage:
+        Per-input-reader fraction of present reference values.
+    degraded:
+        True when the decision dropped readers or the reading is masked.
+    """
+
+    reading: TrackingReading
+    surviving_readers: tuple[int, ...]
+    excluded_readers: tuple[int, ...]
+    coverage: tuple[float, ...]
+    degraded: bool
+
+    def diagnostics(self) -> dict[str, Any]:
+        """Flat dict for :class:`~repro.types.EstimateResult` diagnostics."""
+        return {
+            "quorum_surviving_readers": list(self.surviving_readers),
+            "quorum_excluded_readers": list(self.excluded_readers),
+            "quorum_coverage": [round(c, 6) for c in self.coverage],
+            "quorum_degraded": self.degraded,
+        }
+
+
+@dataclass(frozen=True)
+class QuorumPolicy:
+    """Minimum evidence required to attempt VIRE on a degraded reading.
+
+    Parameters
+    ----------
+    min_readers:
+        Fewest readers that must survive the coverage cut. The paper's
+        elimination intersects per-reader maps; below two readers the
+        intersection carries no cross-bearing information.
+    min_reference_coverage:
+        Per-reader floor on the fraction of reference tags with a
+        present (finite) RSSI value. Readers below the floor are
+        excluded rather than interpolated from thin air.
+    """
+
+    min_readers: int = 2
+    min_reference_coverage: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.min_readers < 1:
+            raise ConfigurationError(
+                f"min_readers must be >= 1, got {self.min_readers}"
+            )
+        if not (0.0 < self.min_reference_coverage <= 1.0):
+            raise ConfigurationError(
+                "min_reference_coverage must be in (0, 1], got "
+                f"{self.min_reference_coverage}"
+            )
+
+    def apply(self, reading: TrackingReading) -> QuorumDecision:
+        """Evaluate the quorum; raise :class:`EstimationError` if unmet.
+
+        Complete readings (``masked=False`` or all values present) are
+        returned unchanged. Masked readings are trimmed to the readers
+        meeting the coverage floor; if fewer than ``min_readers``
+        survive, an :class:`~repro.exceptions.EstimationError` is raised
+        so the caller can fall down the degradation ladder.
+        """
+        coverage = tuple(
+            float(c) for c in reading.reader_reference_coverage
+        )
+        if not reading.masked or reading.is_complete:
+            return QuorumDecision(
+                reading=reading,
+                surviving_readers=tuple(range(reading.n_readers)),
+                excluded_readers=(),
+                coverage=coverage,
+                degraded=bool(reading.masked),
+            )
+
+        surviving = tuple(
+            i
+            for i, c in enumerate(coverage)
+            if c >= self.min_reference_coverage
+        )
+        excluded = tuple(
+            i for i in range(reading.n_readers) if i not in surviving
+        )
+        if len(surviving) < self.min_readers:
+            raise EstimationError(
+                f"quorum unmet: {len(surviving)} reader(s) with reference "
+                f"coverage >= {self.min_reference_coverage:.2f} "
+                f"(need {self.min_readers}); coverage="
+                + "/".join(f"{c:.2f}" for c in coverage)
+            )
+        if not excluded:
+            trimmed = reading
+        else:
+            trimmed = reading.subset_readers(np.asarray(surviving))
+        return QuorumDecision(
+            reading=trimmed,
+            surviving_readers=surviving,
+            excluded_readers=excluded,
+            coverage=coverage,
+            degraded=True,
+        )

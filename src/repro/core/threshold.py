@@ -37,8 +37,12 @@ def _check_deviations(deviations: np.ndarray) -> np.ndarray:
         raise ConfigurationError(
             f"deviations must have shape (K, v_rows, v_cols), got {dev.shape}"
         )
-    if np.any(dev < 0) or not np.all(np.isfinite(dev)):
-        raise ConfigurationError("deviations must be finite and non-negative")
+    # NaN marks an unknown deviation (masked/degraded input) and is
+    # tolerated — such cells simply can never be selected. Infinities and
+    # negative values are corrupt data either way.
+    finite = np.isfinite(dev)
+    if np.any(np.isinf(dev)) or np.any(dev[finite] < 0):
+        raise ConfigurationError("deviations must be non-negative (NaN = unknown)")
     return dev
 
 
@@ -62,9 +66,20 @@ def minimal_feasible_threshold(
         raise ConfigurationError(
             f"min_cells={min_cells} exceeds the {worst_per_cell.size} lattice cells"
         )
+    # Cells with any unknown (NaN) deviation cannot be guaranteed to
+    # survive at any threshold: exclude them from the feasible set.
+    nan_cells = np.isnan(worst_per_cell)
+    if nan_cells.any():
+        worst_per_cell = np.where(nan_cells, np.inf, worst_per_cell)
     # k-th smallest of the per-cell maxima.
     idx = min_cells - 1
-    return float(np.partition(worst_per_cell, idx)[idx])
+    result = float(np.partition(worst_per_cell, idx)[idx])
+    if not np.isfinite(result):
+        raise ConfigurationError(
+            f"fewer than min_cells={min_cells} cells have fully known "
+            "deviations; no feasible shared threshold exists"
+        )
+    return result
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,458 @@
+"""Composable, seeded fault models for the record path.
+
+Every model is a frozen dataclass (a pure *description*) with a
+:meth:`~FaultModel.compile` method that binds it to a named RNG stream
+and returns a stateful :class:`CompiledFault`. Compiled faults transform
+one :class:`~repro.hardware.readers.ReadingRecord` at a time:
+
+``apply(record, now, emit) -> list[(release_time_s, record)]``
+
+* ``[]`` — the record was dropped by the fault;
+* ``[(now, record)]`` — passed through (possibly with modified RSSI);
+* ``[(now + d, record)]`` — delayed delivery (the injector buffers it).
+
+``emit(kind, **fields)`` reports state transitions (outage start/end,
+burst-state changes, tag deaths) so the injector can log and count them.
+
+Determinism contract: a compiled fault consumes randomness only from the
+generator handed to it at compile time, which the
+:class:`~repro.faults.plan.FaultPlan` derives per-fault from the plan
+seed — so adding a fault to a plan never perturbs the draws of another,
+and the same seed always reproduces the same fault schedule.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..hardware.readers import ReadingRecord
+
+__all__ = [
+    "Emit",
+    "CompiledFault",
+    "FaultModel",
+    "ReaderOutageFault",
+    "BurstLossFault",
+    "TagDeathFault",
+    "CalibrationDriftFault",
+    "DelayFault",
+]
+
+#: Callback signature used by compiled faults to report transitions.
+Emit = Callable[..., None]
+
+
+@runtime_checkable
+class CompiledFault(Protocol):
+    """A stateful fault bound to its RNG stream."""
+
+    #: the immutable model this state was compiled from
+    model: "FaultModel"
+
+    def apply(
+        self, record: ReadingRecord, now_s: float, emit: Emit
+    ) -> list[tuple[float, ReadingRecord]]:
+        """Transform one record; see module docstring for the contract."""
+        ...
+
+
+@runtime_checkable
+class FaultModel(Protocol):
+    """The immutable description of one fault."""
+
+    def compile(self, rng: np.random.Generator) -> CompiledFault:
+        """Bind the model to an RNG stream, returning mutable state."""
+        ...
+
+
+def _ensure_time(value: float, name: str) -> float:
+    v = float(value)
+    if not math.isfinite(v) or v < 0:
+        raise ConfigurationError(f"{name} must be finite and >= 0, got {value}")
+    return v
+
+
+def _ensure_prob(value: float, name: str) -> float:
+    v = float(value)
+    if not (0.0 <= v <= 1.0):
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+    return v
+
+
+# ---------------------------------------------------------------------------
+# Scheduled reader outage / flapping
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReaderOutageFault:
+    """A reader goes dark for a scheduled window, optionally flapping.
+
+    Parameters
+    ----------
+    reader_id:
+        The reader whose records are suppressed.
+    start_s / duration_s:
+        The outage window ``[start, start + duration)`` in simulation
+        seconds. ``duration_s=math.inf`` models a permanent failure.
+    flapping_period_s:
+        If set, the reader *flaps* inside the window instead of staying
+        dark: each period starts with ``flap_duty`` of down-time followed
+        by up-time. ``None`` (default) = solid outage.
+    flap_duty:
+        Fraction of each flapping period spent down.
+    """
+
+    reader_id: str
+    start_s: float
+    duration_s: float
+    flapping_period_s: float | None = None
+    flap_duty: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not self.reader_id:
+            raise ConfigurationError("reader_id must be non-empty")
+        _ensure_time(self.start_s, "start_s")
+        if not self.duration_s > 0:
+            raise ConfigurationError(
+                f"duration_s must be positive, got {self.duration_s}"
+            )
+        if self.flapping_period_s is not None and not self.flapping_period_s > 0:
+            raise ConfigurationError(
+                f"flapping_period_s must be positive, got {self.flapping_period_s}"
+            )
+        _ensure_prob(self.flap_duty, "flap_duty")
+
+    def down_at(self, now_s: float) -> bool:
+        """Whether the reader is dark at ``now_s`` (pure, deterministic)."""
+        if not (self.start_s <= now_s < self.start_s + self.duration_s):
+            return False
+        if self.flapping_period_s is None:
+            return True
+        phase = (now_s - self.start_s) % self.flapping_period_s
+        return phase < self.flap_duty * self.flapping_period_s
+
+    def compile(self, rng: np.random.Generator) -> "_CompiledOutage":
+        del rng  # fully scheduled: no randomness
+        return _CompiledOutage(self)
+
+
+class _CompiledOutage:
+    def __init__(self, model: ReaderOutageFault):
+        self.model = model
+        self._was_down = False
+
+    def apply(self, record, now_s, emit):
+        if record.reader_id != self.model.reader_id:
+            return [(now_s, record)]
+        down = self.model.down_at(now_s)
+        if down != self._was_down:
+            self._was_down = down
+            emit(
+                "reader_outage_start" if down else "reader_outage_end",
+                reader=self.model.reader_id,
+            )
+        return [] if down else [(now_s, record)]
+
+
+# ---------------------------------------------------------------------------
+# Gilbert–Elliott burst packet loss
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BurstLossFault:
+    """Bursty frame loss via the Gilbert–Elliott two-state Markov chain.
+
+    The channel alternates between a *good* state (loss probability
+    ``loss_good``) and a *bad* state (``loss_bad``); per matching record
+    the chain transitions good→bad with ``p_enter_bad`` and bad→good
+    with ``p_exit_bad``. The classic parametrization reproduces the
+    bursty (not i.i.d.) losses of congested RF environments.
+
+    Parameters
+    ----------
+    reader_id:
+        Restrict to one reader; ``None`` applies to every record.
+    p_enter_bad / p_exit_bad:
+        Markov transition probabilities (per record observed).
+    loss_bad / loss_good:
+        Drop probability while in each state.
+    start_s / duration_s:
+        Active window; defaults to always-on.
+    """
+
+    reader_id: str | None = None
+    p_enter_bad: float = 0.05
+    p_exit_bad: float = 0.4
+    loss_bad: float = 0.9
+    loss_good: float = 0.0
+    start_s: float = 0.0
+    duration_s: float = math.inf
+
+    def __post_init__(self) -> None:
+        _ensure_prob(self.p_enter_bad, "p_enter_bad")
+        _ensure_prob(self.p_exit_bad, "p_exit_bad")
+        _ensure_prob(self.loss_bad, "loss_bad")
+        _ensure_prob(self.loss_good, "loss_good")
+        _ensure_time(self.start_s, "start_s")
+        if not self.duration_s > 0:
+            raise ConfigurationError(
+                f"duration_s must be positive, got {self.duration_s}"
+            )
+
+    def compile(self, rng: np.random.Generator) -> "_CompiledBurstLoss":
+        return _CompiledBurstLoss(self, rng)
+
+
+class _CompiledBurstLoss:
+    def __init__(self, model: BurstLossFault, rng: np.random.Generator):
+        self.model = model
+        self._rng = rng
+        self._bad = False
+
+    def apply(self, record, now_s, emit):
+        m = self.model
+        if m.reader_id is not None and record.reader_id != m.reader_id:
+            return [(now_s, record)]
+        if not (m.start_s <= now_s < m.start_s + m.duration_s):
+            return [(now_s, record)]
+        # Transition first (per observed record), then sample the loss.
+        u_transition = self._rng.random()
+        if self._bad:
+            if u_transition < m.p_exit_bad:
+                self._bad = False
+                emit("burst_state_good", reader=record.reader_id)
+        else:
+            if u_transition < m.p_enter_bad:
+                self._bad = True
+                emit("burst_state_bad", reader=record.reader_id)
+        loss_p = m.loss_bad if self._bad else m.loss_good
+        if loss_p > 0.0 and self._rng.random() < loss_p:
+            return []
+        return [(now_s, record)]
+
+
+# ---------------------------------------------------------------------------
+# Tag battery decay -> beacon death (also: reference-tag failure)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TagDeathFault:
+    """A tag's battery decays and eventually dies.
+
+    Before death the transmit power sags (RSSI reduced by
+    ``decay_db_per_s`` times the time spent in the decay window); at the
+    death time every subsequent record of the tag is suppressed — the
+    middleware then sees the series go stale exactly as with a real dead
+    battery. Pointing this at a ``ref-*`` id models *reference-tag
+    failure*, the hardest partial-input case for VIRE.
+
+    Parameters
+    ----------
+    tag_id:
+        The dying tag.
+    death_time_s:
+        Exact death time; ``None`` draws it uniformly from
+        ``death_window_s`` at compile time (seeded → reproducible).
+    death_window_s:
+        ``(lo, hi)`` window for the random draw.
+    decay_db_per_s:
+        RSSI sag rate during the ``decay_duration_s`` before death.
+    decay_duration_s:
+        Length of the brown-out ramp preceding death.
+    """
+
+    tag_id: str
+    death_time_s: float | None = None
+    death_window_s: tuple[float, float] = (30.0, 120.0)
+    decay_db_per_s: float = 0.0
+    decay_duration_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.tag_id:
+            raise ConfigurationError("tag_id must be non-empty")
+        if self.death_time_s is not None:
+            _ensure_time(self.death_time_s, "death_time_s")
+        lo, hi = self.death_window_s
+        if not (0 <= lo <= hi):
+            raise ConfigurationError(
+                f"death_window_s must satisfy 0 <= lo <= hi, got {self.death_window_s}"
+            )
+        if self.decay_db_per_s < 0:
+            raise ConfigurationError(
+                f"decay_db_per_s must be >= 0, got {self.decay_db_per_s}"
+            )
+        _ensure_time(self.decay_duration_s, "decay_duration_s")
+
+    def compile(self, rng: np.random.Generator) -> "_CompiledTagDeath":
+        if self.death_time_s is not None:
+            death = float(self.death_time_s)
+        else:
+            lo, hi = self.death_window_s
+            death = float(rng.uniform(lo, hi))
+        return _CompiledTagDeath(self, death)
+
+
+class _CompiledTagDeath:
+    def __init__(self, model: TagDeathFault, death_time_s: float):
+        self.model = model
+        self.death_time_s = death_time_s
+        self._announced = False
+
+    def apply(self, record, now_s, emit):
+        m = self.model
+        if record.tag_id != m.tag_id:
+            return [(now_s, record)]
+        if now_s >= self.death_time_s:
+            if not self._announced:
+                self._announced = True
+                emit("tag_death", tag=m.tag_id, death_t=self.death_time_s)
+            return []
+        decay_start = self.death_time_s - m.decay_duration_s
+        if m.decay_db_per_s > 0.0 and now_s > decay_start:
+            sag = m.decay_db_per_s * (now_s - decay_start)
+            record = ReadingRecord(
+                reader_id=record.reader_id,
+                tag_id=record.tag_id,
+                time_s=record.time_s,
+                rssi_dbm=record.rssi_dbm - sag,
+            )
+        return [(now_s, record)]
+
+
+# ---------------------------------------------------------------------------
+# Per-reader RSSI calibration drift
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CalibrationDriftFault:
+    """A reader's RSSI calibration drifts linearly over time.
+
+    Models thermal drift / aging of the receiver front-end: from
+    ``start_s`` on, every record of ``reader_id`` gains
+    ``drift_db_per_s * elapsed`` dB of systematic bias (clamped at
+    ``max_drift_db``) plus optional Gaussian calibration jitter.
+    """
+
+    reader_id: str
+    drift_db_per_s: float
+    start_s: float = 0.0
+    max_drift_db: float | None = None
+    jitter_db: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.reader_id:
+            raise ConfigurationError("reader_id must be non-empty")
+        if not math.isfinite(self.drift_db_per_s):
+            raise ConfigurationError(
+                f"drift_db_per_s must be finite, got {self.drift_db_per_s}"
+            )
+        _ensure_time(self.start_s, "start_s")
+        if self.max_drift_db is not None and self.max_drift_db < 0:
+            raise ConfigurationError(
+                f"max_drift_db must be >= 0, got {self.max_drift_db}"
+            )
+        if self.jitter_db < 0:
+            raise ConfigurationError(
+                f"jitter_db must be >= 0, got {self.jitter_db}"
+            )
+
+    def bias_at(self, now_s: float) -> float:
+        """Deterministic bias component at ``now_s``."""
+        if now_s <= self.start_s:
+            return 0.0
+        bias = self.drift_db_per_s * (now_s - self.start_s)
+        if self.max_drift_db is not None:
+            bias = max(-self.max_drift_db, min(self.max_drift_db, bias))
+        return bias
+
+    def compile(self, rng: np.random.Generator) -> "_CompiledDrift":
+        return _CompiledDrift(self, rng)
+
+
+class _CompiledDrift:
+    def __init__(self, model: CalibrationDriftFault, rng: np.random.Generator):
+        self.model = model
+        self._rng = rng
+
+    def apply(self, record, now_s, emit):
+        m = self.model
+        if record.reader_id != m.reader_id:
+            return [(now_s, record)]
+        delta = m.bias_at(now_s)
+        if m.jitter_db > 0.0:
+            delta += float(self._rng.normal(0.0, m.jitter_db))
+        if delta == 0.0:
+            return [(now_s, record)]
+        return [
+            (
+                now_s,
+                ReadingRecord(
+                    reader_id=record.reader_id,
+                    tag_id=record.tag_id,
+                    time_s=record.time_s,
+                    rssi_dbm=record.rssi_dbm + delta,
+                ),
+            )
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Delayed / reordered record delivery
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DelayFault:
+    """Middleware-path latency: records arrive late and possibly reordered.
+
+    Each matching record is held back ``delay_s`` plus a uniform random
+    extra of up to ``jitter_s``; when the jitter exceeds the inter-record
+    spacing, delivery order genuinely inverts — exactly the reordering a
+    congested collection network produces. The record's *measurement*
+    timestamp is untouched, so middleware freshness accounting sees the
+    data as old as it truly is.
+
+    Parameters
+    ----------
+    reader_id:
+        Restrict to one reader; ``None`` delays everything.
+    delay_s / jitter_s:
+        Base delay and uniform jitter bound (seconds).
+    """
+
+    reader_id: str | None = None
+    delay_s: float = 1.0
+    jitter_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        _ensure_time(self.delay_s, "delay_s")
+        _ensure_time(self.jitter_s, "jitter_s")
+        if self.delay_s == 0.0 and self.jitter_s == 0.0:
+            raise ConfigurationError("DelayFault with zero delay is a no-op")
+
+    def compile(self, rng: np.random.Generator) -> "_CompiledDelay":
+        return _CompiledDelay(self, rng)
+
+
+class _CompiledDelay:
+    def __init__(self, model: DelayFault, rng: np.random.Generator):
+        self.model = model
+        self._rng = rng
+
+    def apply(self, record, now_s, emit):
+        m = self.model
+        if m.reader_id is not None and record.reader_id != m.reader_id:
+            return [(now_s, record)]
+        delay = m.delay_s
+        if m.jitter_s > 0.0:
+            delay += float(self._rng.uniform(0.0, m.jitter_s))
+        return [(now_s + delay, record)]

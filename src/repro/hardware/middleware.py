@@ -13,6 +13,13 @@ are provided. :meth:`snapshot` assembles the consistent
 :class:`~repro.types.TrackingReading` an estimator consumes, enforcing
 freshness so a tag that stopped beaconing (dead battery, left the area)
 is reported missing rather than silently stale.
+
+Partial input: the default (strict) snapshot raises on any missing
+series — bit-identical to the original behaviour. With
+``allow_partial=True`` the middleware instead returns a *masked*
+reading: readers with no fresh tracking-tag value are absent, missing
+reference values become NaN, and ``TrackingReading.masked`` flags the
+degradation so quorum-aware estimators can decide what survives.
 """
 
 from __future__ import annotations
@@ -136,10 +143,45 @@ class MiddlewareServer:
         self.tracking_smoothing = tracking_smoothing or self.smoothing
         self._series: dict[tuple[str, str], _Series] = {}
         self._records_ingested = 0
+        self._frame_sources: dict[str, object] = {}
 
     @property
     def records_ingested(self) -> int:
         return self._records_ingested
+
+    # -- frame accounting ----------------------------------------------------
+
+    def register_frame_source(self, reader: object) -> None:
+        """Attach a per-reader frame counter source.
+
+        ``reader`` is anything with ``reader_id``, ``frames_received``
+        and ``frames_dropped`` attributes (a
+        :class:`~repro.hardware.readers.Reader`). The simulator registers
+        its readers automatically so detection-floor drops — tracked by
+        the readers but previously invisible from the middleware — are
+        observable here and exportable by the service metrics registry.
+        """
+        reader_id = getattr(reader, "reader_id", None)
+        if reader_id not in self.reader_ids:
+            raise ConfigurationError(
+                f"cannot register frame source for unknown reader {reader_id!r}"
+            )
+        self._frame_sources[reader_id] = reader
+
+    def frame_stats(self) -> dict[str, dict[str, int]]:
+        """Per-reader ``{"received": n, "dropped": n}`` frame counters.
+
+        Readers without a registered source report zeros (the counters
+        live on the reader objects; a hand-fed middleware has none).
+        """
+        out: dict[str, dict[str, int]] = {}
+        for reader_id in self.reader_ids:
+            source = self._frame_sources.get(reader_id)
+            out[reader_id] = {
+                "received": int(getattr(source, "frames_received", 0) or 0),
+                "dropped": int(getattr(source, "frames_dropped", 0) or 0),
+            }
+        return out
 
     def _spec_for(self, tag_id: str) -> SmoothingSpec:
         return (
@@ -171,52 +213,107 @@ class MiddlewareServer:
         return series.value(spec)
 
     def snapshot(
-        self, tracking_tag_id: str, now_s: float
+        self,
+        tracking_tag_id: str,
+        now_s: float,
+        *,
+        allow_partial: bool = False,
     ) -> TrackingReading:
         """Assemble the localization input for one tracking tag.
 
-        Raises :class:`~repro.exceptions.ReadingError` if any reader lacks
-        a fresh reading of the tracking tag or of any reference tag —
+        Strict mode (the default) raises
+        :class:`~repro.exceptions.ReadingError` if any reader lacks a
+        fresh reading of the tracking tag or of any reference tag —
         estimators require a complete matrix. (Readers that miss weak
-        frames produce exactly this error; callers decide whether to retry
-        after more simulation time or drop the reader via
+        frames produce exactly this error; callers decide whether to
+        retry after more simulation time or drop the reader via
         :meth:`TrackingReading.subset_readers`.)
+
+        With ``allow_partial=True`` the middleware degrades instead of
+        refusing: readers with no fresh tracking-tag value are *absent*
+        from the returned reading, missing reference values become NaN,
+        and the reading carries ``masked=True`` whenever anything was
+        missing. When every series is fresh the result is bit-identical
+        to the strict snapshot. Raises :class:`ReadingError` only when
+        *no* reader has a fresh tracking-tag value.
         """
-        k = len(self.reader_ids)
-        n = len(self.reference_ids)
-        ref = np.empty((k, n))
-        trk = np.empty(k)
+        if not allow_partial:
+            k = len(self.reader_ids)
+            n = len(self.reference_ids)
+            ref = np.empty((k, n))
+            trk = np.empty(k)
+            for i, reader_id in enumerate(self.reader_ids):
+                t_val = self._smoothed(reader_id, tracking_tag_id, now_s)
+                if t_val is None:
+                    raise ReadingError(
+                        f"reader {reader_id!r} has no fresh reading of tracking "
+                        f"tag {tracking_tag_id!r} at t={now_s:.1f}s"
+                    )
+                trk[i] = t_val
+                for j, ref_id in enumerate(self.reference_ids):
+                    r_val = self._smoothed(reader_id, ref_id, now_s)
+                    if r_val is None:
+                        raise ReadingError(
+                            f"reader {reader_id!r} has no fresh reading of "
+                            f"reference tag {ref_id!r} at t={now_s:.1f}s"
+                        )
+                    ref[i, j] = r_val
+            return TrackingReading(
+                reference_rssi=ref,
+                tracking_rssi=trk,
+                reference_positions=self.reference_positions,
+                reader_ids=self.reader_ids,
+                tag_id=tracking_tag_id,
+                timestamp=now_s,
+            )
+
+        surviving: list[int] = []
+        trk_vals: list[float] = []
+        rows: list[np.ndarray] = []
+        missing_refs = 0
         for i, reader_id in enumerate(self.reader_ids):
             t_val = self._smoothed(reader_id, tracking_tag_id, now_s)
             if t_val is None:
-                raise ReadingError(
-                    f"reader {reader_id!r} has no fresh reading of tracking "
-                    f"tag {tracking_tag_id!r} at t={now_s:.1f}s"
-                )
-            trk[i] = t_val
+                continue  # the whole reader is absent from this snapshot
+            row = np.empty(len(self.reference_ids))
             for j, ref_id in enumerate(self.reference_ids):
                 r_val = self._smoothed(reader_id, ref_id, now_s)
                 if r_val is None:
-                    raise ReadingError(
-                        f"reader {reader_id!r} has no fresh reading of "
-                        f"reference tag {ref_id!r} at t={now_s:.1f}s"
-                    )
-                ref[i, j] = r_val
+                    row[j] = np.nan
+                    missing_refs += 1
+                else:
+                    row[j] = r_val
+            surviving.append(i)
+            trk_vals.append(t_val)
+            rows.append(row)
+        if not surviving:
+            raise ReadingError(
+                f"no reader has a fresh reading of tracking tag "
+                f"{tracking_tag_id!r} at t={now_s:.1f}s"
+            )
+        masked = missing_refs > 0 or len(surviving) < len(self.reader_ids)
         return TrackingReading(
-            reference_rssi=ref,
-            tracking_rssi=trk,
+            reference_rssi=np.vstack(rows),
+            tracking_rssi=np.asarray(trk_vals),
             reference_positions=self.reference_positions,
-            reader_ids=self.reader_ids,
+            reader_ids=tuple(self.reader_ids[i] for i in surviving),
             tag_id=tracking_tag_id,
             timestamp=now_s,
+            masked=masked,
         )
 
     def coverage(self, now_s: float) -> dict[str, float]:
         """Fraction of fresh (reader, reference-tag) series per reader.
 
         Diagnostic used by examples to decide the warm-up time before the
-        first snapshot.
+        first snapshot. A deployment with zero reference tags (possible
+        for subclasses or hand-built servers, though the constructor
+        requires at least one) reports vacuous full coverage — there is
+        nothing left to wait for — rather than dividing by zero.
         """
+        n_refs = len(self.reference_ids)
+        if n_refs == 0:
+            return {reader_id: 1.0 for reader_id in self.reader_ids}
         out = {}
         for reader_id in self.reader_ids:
             fresh = sum(
@@ -224,5 +321,33 @@ class MiddlewareServer:
                 for ref_id in self.reference_ids
                 if self._smoothed(reader_id, ref_id, now_s) is not None
             )
-            out[reader_id] = fresh / len(self.reference_ids)
+            out[reader_id] = fresh / n_refs
+        return out
+
+    def reader_freshness(
+        self,
+        now_s: float,
+        tracking_tag_ids: Iterable[str] = (),
+    ) -> dict[str, float]:
+        """Fresh fraction per reader over reference *and* tracking tags.
+
+        The tracking-tag variant of :meth:`coverage` used by the service
+        health tracker: a reader that still sees the static reference
+        grid but has lost every moving tag is degraded, and vice versa.
+        With no tags at all (no references, no tracking ids) the answer
+        is vacuous full freshness.
+        """
+        tag_ids = list(self.reference_ids) + [
+            t for t in tracking_tag_ids if t not in self._reference_id_set
+        ]
+        if not tag_ids:
+            return {reader_id: 1.0 for reader_id in self.reader_ids}
+        out = {}
+        for reader_id in self.reader_ids:
+            fresh = sum(
+                1
+                for tag_id in tag_ids
+                if self._smoothed(reader_id, tag_id, now_s) is not None
+            )
+            out[reader_id] = fresh / len(tag_ids)
         return out

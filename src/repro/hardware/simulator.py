@@ -9,7 +9,7 @@ middleware. The simulation is deterministic for a given seed.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -23,6 +23,9 @@ from .events import EventQueue
 from .middleware import MiddlewareServer, SmoothingSpec
 from .readers import Reader, ReadingRecord
 from .tags import ActiveTag
+
+if TYPE_CHECKING:  # faults layer sits beside hardware; import is type-only
+    from ..faults.injector import FaultInjector
 
 __all__ = ["TestbedSimulator"]
 
@@ -94,10 +97,15 @@ class TestbedSimulator:
             smoothing=smoothing,
             tracking_smoothing=tracking_smoothing,
         )
+        for reader in self.readers:
+            # Expose per-reader frame accounting (frames received vs
+            # dropped at the detection floor) through the middleware.
+            self.middleware.register_frame_source(reader)
         self.queue = EventQueue()
         self._beacon_rng = derive_rng(self.seed, "beacons")
         self._sample_rng = derive_rng(self.seed, "samples")
         self._record_sink: Callable[[ReadingRecord], None] | None = None
+        self._fault_injector: "FaultInjector | None" = None
 
         self._interference_offsets: dict[str, float] = {}
         if self.interference is not None:
@@ -154,10 +162,21 @@ class TestbedSimulator:
             )
             record = reader.receive(tag.tag_id, now, rssi)
             if record is not None:
-                if self._record_sink is not None:
-                    self._record_sink(record)
-                else:
-                    self.middleware.ingest(record)
+                self._deliver(record, now)
+
+    def _deliver(self, record: ReadingRecord, now: float) -> None:
+        """Route one detected record through faults (if any) to delivery."""
+        if self._fault_injector is not None:
+            for rec in self._fault_injector.process(record, now):
+                self._dispatch(rec)
+        else:
+            self._dispatch(record)
+
+    def _dispatch(self, record: ReadingRecord) -> None:
+        if self._record_sink is not None:
+            self._record_sink(record)
+        else:
+            self.middleware.ingest(record)
 
     # -- public API ---------------------------------------------------------
 
@@ -180,6 +199,26 @@ class TestbedSimulator:
         """The installed record sink, if any."""
         return self._record_sink
 
+    def set_fault_injector(self, injector: "FaultInjector | None") -> None:
+        """Interpose a :class:`~repro.faults.injector.FaultInjector`.
+
+        The injector wraps the record path *between* reader detection
+        and delivery (middleware or record sink): every detected beacon
+        record passes through the injector's fault plan, and only
+        survivors are delivered — possibly modified (calibration drift)
+        or late (delay faults, released as simulated time advances).
+        The RF channel and reader randomness are untouched, so with no
+        injector — or an injector over an *empty* plan — downstream
+        output is bit-identical to a fault-free run. Pass ``None`` to
+        remove.
+        """
+        self._fault_injector = injector
+
+    @property
+    def fault_injector(self) -> "FaultInjector | None":
+        """The installed fault injector, if any."""
+        return self._fault_injector
+
     @property
     def now(self) -> float:
         """Current simulation time (seconds)."""
@@ -189,7 +228,13 @@ class TestbedSimulator:
         """Advance the simulation by ``duration_s``; returns events fired."""
         if duration_s < 0:
             raise SimulationError(f"duration must be >= 0, got {duration_s}")
-        return self.queue.run_until(self.now + duration_s)
+        fired = self.queue.run_until(self.now + duration_s)
+        if self._fault_injector is not None:
+            # Delay faults buffer records past the last beacon of the
+            # window; release everything due by the new simulation time.
+            for rec in self._fault_injector.release_due(self.now):
+                self._dispatch(rec)
+        return fired
 
     def warm_up(self, *, min_coverage: float = 1.0, max_time_s: float = 120.0) -> float:
         """Run until every reader has fresh readings of the reference grid.

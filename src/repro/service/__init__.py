@@ -4,9 +4,13 @@ Turns the event-driven testbed into an online system: reader records
 stream through a bounded ingestion queue into the middleware, pending
 localization queries are micro-batched, the VIRE estimator runs behind a
 content-keyed interpolation cache, and every request that cannot take
-the primary path degrades gracefully (VIRE → LANDMARC → last-known)
-instead of raising. Counters, gauges and latency histograms cover every
-stage, with a Prometheus-style text exposition.
+the primary path degrades gracefully down a four-level ladder
+(full VIRE → VIRE on the quorum-surviving reader subset → LANDMARC →
+last-known) instead of raising. Per-reader circuit breakers
+(:mod:`~repro.service.health`) exclude readers the middleware reports
+stale — e.g. mid-outage under an injected
+:class:`~repro.faults.FaultPlan`. Counters, gauges and latency
+histograms cover every stage, with a Prometheus-style text exposition.
 
 Layering: ``service`` sits above ``core`` and ``hardware`` and is never
 imported by them — the estimator only sees the tiny
@@ -31,6 +35,12 @@ from .metrics import (
     log_event,
 )
 from .cache import InterpolationCache
+from .health import (
+    BreakerPolicy,
+    BreakerState,
+    CircuitBreaker,
+    ReaderHealthTracker,
+)
 from .ingest import BoundedRecordQueue, IngestionLoop
 from .batcher import Batch, LocalizationRequest, MicroBatcher
 from .pipeline import ServiceConfig, ServicePipeline, ServiceResult
@@ -45,6 +55,10 @@ __all__ = [
     "get_service_logger",
     "log_event",
     "InterpolationCache",
+    "BreakerPolicy",
+    "BreakerState",
+    "CircuitBreaker",
+    "ReaderHealthTracker",
     "BoundedRecordQueue",
     "IngestionLoop",
     "Batch",

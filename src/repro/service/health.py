@@ -1,0 +1,253 @@
+"""Per-reader health tracking with a circuit breaker (service layer).
+
+The streaming pipeline needs to know which readers to *trust* before it
+asks the middleware for a snapshot: a reader mid-outage still has stale
+series in the middleware, and repeatedly attempting full-VIRE on stale
+data wastes the tick deadline. Standard circuit-breaker mechanics:
+
+* ``CLOSED`` — reader healthy; consecutive freshness failures count up.
+* ``OPEN`` — after ``failure_threshold`` consecutive failures the
+  breaker opens; the pipeline excludes the reader outright (no probe)
+  until ``recovery_timeout_s`` of simulated time has passed.
+* ``HALF_OPEN`` — after the timeout the next evaluation *probes* the
+  reader: one success re-closes the breaker, one failure re-opens it
+  (and restarts the timeout).
+
+Time is the simulation clock passed in by the caller, never wall-clock,
+so breaker transitions are exactly as deterministic as the fault plan
+that causes them. Transitions are logged as structured events
+(``breaker_open`` / ``breaker_half_open`` / ``breaker_close``) and
+mirrored into the metrics registry when one is attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+from ..exceptions import ConfigurationError
+from ..utils.logging import get_structured_logger, log_event
+
+if TYPE_CHECKING:  # avoid an import cycle at runtime (metrics is sibling)
+    from .metrics import MetricsRegistry
+
+__all__ = [
+    "BreakerPolicy",
+    "BreakerState",
+    "CircuitBreaker",
+    "ReaderHealthTracker",
+]
+
+_LOGGER_NAME = "repro.service.health"
+
+
+class BreakerState:
+    """String constants for the breaker's three states."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Tuning knobs shared by all per-reader breakers.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive freshness failures before the breaker opens.
+    recovery_timeout_s:
+        Simulated seconds an open breaker waits before allowing a
+        half-open probe.
+    """
+
+    failure_threshold: int = 3
+    recovery_timeout_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ConfigurationError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.recovery_timeout_s <= 0:
+            raise ConfigurationError(
+                f"recovery_timeout_s must be positive, got {self.recovery_timeout_s}"
+            )
+
+
+class CircuitBreaker:
+    """One reader's breaker; driven by :class:`ReaderHealthTracker`."""
+
+    def __init__(self, policy: BreakerPolicy):
+        self.policy = policy
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at_s: float | None = None
+        self.transitions = 0
+
+    def allows(self, now_s: float) -> bool:
+        """Whether the reader may participate in the next estimate.
+
+        An open breaker transitions to half-open (allowing one probe)
+        once the recovery timeout has elapsed.
+        """
+        if self.state == BreakerState.OPEN:
+            assert self.opened_at_s is not None
+            if now_s - self.opened_at_s >= self.policy.recovery_timeout_s:
+                self.state = BreakerState.HALF_OPEN
+                self.transitions += 1
+                return True
+            return False
+        return True
+
+    def record_success(self) -> bool:
+        """Register a fresh observation; returns True on a close transition."""
+        closed = self.state == BreakerState.HALF_OPEN
+        if closed:
+            self.transitions += 1
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at_s = None
+        return closed
+
+    def record_failure(self, now_s: float) -> bool:
+        """Register a stale observation; returns True on an open transition."""
+        if self.state == BreakerState.HALF_OPEN:
+            # Failed probe: straight back to open, restart the timeout.
+            self.state = BreakerState.OPEN
+            self.opened_at_s = now_s
+            self.transitions += 1
+            return True
+        self.consecutive_failures += 1
+        if (
+            self.state == BreakerState.CLOSED
+            and self.consecutive_failures >= self.policy.failure_threshold
+        ):
+            self.state = BreakerState.OPEN
+            self.opened_at_s = now_s
+            self.transitions += 1
+            return True
+        return False
+
+
+class ReaderHealthTracker:
+    """Tracks per-reader freshness and drives one breaker per reader.
+
+    Parameters
+    ----------
+    reader_ids:
+        The readers to track (middleware order).
+    policy:
+        Shared :class:`BreakerPolicy`.
+    freshness_floor:
+        Minimum fresh fraction (see
+        :meth:`~repro.hardware.middleware.MiddlewareServer.reader_freshness`)
+        counted as a healthy observation.
+    metrics:
+        Optional metrics registry; gauges ``service_reader_healthy`` (per
+        reader, 1/0) and counter ``service_breaker_transitions_total``.
+    """
+
+    def __init__(
+        self,
+        reader_ids: list[str],
+        *,
+        policy: BreakerPolicy | None = None,
+        freshness_floor: float = 0.5,
+        metrics: "MetricsRegistry | None" = None,
+    ):
+        if not reader_ids:
+            raise ConfigurationError("reader_ids must be non-empty")
+        if not (0.0 < freshness_floor <= 1.0):
+            raise ConfigurationError(
+                f"freshness_floor must be in (0, 1], got {freshness_floor}"
+            )
+        self.policy = policy or BreakerPolicy()
+        self.freshness_floor = float(freshness_floor)
+        self.breakers: dict[str, CircuitBreaker] = {
+            rid: CircuitBreaker(self.policy) for rid in reader_ids
+        }
+        self._logger = get_structured_logger(_LOGGER_NAME)
+        self._metrics = metrics
+        self._g_healthy = None
+        self._c_transitions = None
+        if metrics is not None:
+            self._c_transitions = metrics.counter(
+                "service_breaker_transitions_total",
+                "Reader circuit-breaker state transitions",
+            )
+
+    # -- observation ---------------------------------------------------------
+
+    def observe(self, freshness: Mapping[str, float], now_s: float) -> None:
+        """Feed one freshness snapshot (reader_id -> fresh fraction).
+
+        Readers missing from the mapping are treated as fully stale
+        (freshness 0.0) — a reader that has vanished is the canonical
+        failure.
+        """
+        for rid, breaker in self.breakers.items():
+            value = float(freshness.get(rid, 0.0))
+            before = breaker.state
+            if value >= self.freshness_floor:
+                transitioned = breaker.record_success()
+                event = "breaker_close"
+            else:
+                transitioned = breaker.record_failure(now_s)
+                event = "breaker_open"
+            if transitioned:
+                if self._c_transitions is not None:
+                    self._c_transitions.inc()
+                log_event(
+                    self._logger,
+                    event,
+                    reader=rid,
+                    t=now_s,
+                    freshness=round(value, 4),
+                    previous=before,
+                )
+
+    # -- queries -------------------------------------------------------------
+
+    def allowed_readers(self, now_s: float) -> list[str]:
+        """Readers whose breaker currently admits traffic (incl. probes).
+
+        Calling this may flip open breakers to half-open (timeout
+        elapsed), which is logged.
+        """
+        allowed = []
+        for rid, breaker in self.breakers.items():
+            before = breaker.state
+            if breaker.allows(now_s):
+                if before == BreakerState.OPEN:  # became half-open probe
+                    if self._c_transitions is not None:
+                        self._c_transitions.inc()
+                    log_event(
+                        self._logger,
+                        "breaker_half_open",
+                        reader=rid,
+                        t=now_s,
+                    )
+                allowed.append(rid)
+        return allowed
+
+    def state(self) -> dict[str, str]:
+        """Current breaker state per reader."""
+        return {rid: b.state for rid, b in self.breakers.items()}
+
+    def open_readers(self) -> list[str]:
+        """Readers currently excluded (breaker open)."""
+        return [
+            rid
+            for rid, b in self.breakers.items()
+            if b.state == BreakerState.OPEN
+        ]
+
+    def transitions_total(self) -> int:
+        """Total breaker transitions across all readers."""
+        return sum(b.transitions for b in self.breakers.values())
+
+    def __repr__(self) -> str:
+        states = ", ".join(f"{rid}={b.state}" for rid, b in self.breakers.items())
+        return f"ReaderHealthTracker({states})"

@@ -30,6 +30,7 @@ import math
 from typing import Iterable, Mapping, Sequence
 
 from ..exceptions import ConfigurationError
+from ..utils.logging import get_structured_logger, log_event
 
 __all__ = [
     "Counter",
@@ -287,6 +288,10 @@ class MetricsRegistry:
 
 
 # -- structured logging hook -------------------------------------------------
+#
+# The helpers themselves moved to :mod:`repro.utils.logging` so layers
+# below the service (the fault-injection subsystem) can share the exact
+# event discipline; this module keeps its historical exports.
 
 _SERVICE_LOGGER_NAME = "repro.service"
 
@@ -298,31 +303,4 @@ def get_service_logger() -> logging.Logger:
     with ``logging.basicConfig(level=logging.INFO)`` (or their own
     handlers) and immediately see the pipeline's structured events.
     """
-    logger = logging.getLogger(_SERVICE_LOGGER_NAME)
-    if not any(isinstance(h, logging.NullHandler) for h in logger.handlers):
-        logger.addHandler(logging.NullHandler())
-    return logger
-
-
-def _format_field(value: object) -> str:
-    if isinstance(value, float):
-        return f"{value:.6g}"
-    text = str(value)
-    return f'"{text}"' if " " in text else text
-
-
-def log_event(
-    logger: logging.Logger, event: str, /, level: int = logging.INFO, **fields
-) -> None:
-    """Emit one structured ``event=... key=value`` log line.
-
-    The line format is machine-greppable (``event=batch_flush size=8``)
-    while staying readable in a terminal; parsing it back is a
-    ``shlex.split`` away. Lazy: formatting only happens if the logger is
-    enabled for ``level``.
-    """
-    if not logger.isEnabledFor(level):
-        return
-    parts = [f"event={event}"]
-    parts += [f"{k}={_format_field(v)}" for k, v in fields.items()]
-    logger.log(level, " ".join(parts))
+    return get_structured_logger(_SERVICE_LOGGER_NAME)

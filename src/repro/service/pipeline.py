@@ -11,22 +11,34 @@ gracefully, measured always.
     queries ──> MicroBatcher ──> estimator workers ──> ServiceResult
                  (batcher.py)    VIRE ──degrade──> LANDMARC
 
-Graceful degradation (never an exception on the serving path):
+Graceful degradation is a four-level ladder (never an exception on the
+serving path); each level is attempted only when the one above fails:
 
-* **empty intersection** — the adaptive-threshold elimination can leave
-  no candidate region; the paper's middleware must still answer. The
-  pipeline runs VIRE with ``empty_fallback="error"`` so the condition
-  surfaces as :class:`~repro.exceptions.EstimationError`, catches it,
-  and re-estimates with classic LANDMARC (``degraded=True``,
-  ``reason="empty_intersection"``).
-* **deadline exceeded** — a request older than its deadline when its
-  batch executes skips VIRE entirely and takes the cheaper LANDMARC
-  path (``reason="deadline"``).
-* **missing readings** — when even a snapshot cannot be assembled
-  (reader dropout, stale series), the pipeline answers with the tag's
-  last known estimate if one exists (``reason="no_reading"``); only a
-  tag that has *never* been localized yields no result, counted in
-  ``service_requests_failed_total``.
+1. **full VIRE** — a complete snapshot, the primary path.
+2. **VIRE on the surviving subset** — with ``allow_partial`` (the
+   default) the middleware assembles a *masked* snapshot under degraded
+   input (readers absent, reference columns NaN); readers whose circuit
+   breaker is open are excluded up front; the estimator's
+   :class:`~repro.core.quorum.QuorumPolicy` trims low-coverage readers
+   and still answers with VIRE (``degraded=True``,
+   ``reason="partial_readers"``).
+3. **LANDMARC** — when VIRE refuses (empty intersection on a healthy
+   reading: ``reason="empty_intersection"``; quorum unmet on a masked
+   one: ``reason="quorum_unmet"``; or the request is past its deadline:
+   ``reason="deadline"``), the NaN-aware LANDMARC fallback answers.
+4. **last known** — when even a snapshot cannot be assembled (or
+   LANDMARC itself has nothing to rank), the pipeline answers with the
+   tag's last known estimate if one exists (``reason="no_reading"``);
+   only a tag that has *never* been localized yields no result, counted
+   in ``service_requests_failed_total``.
+
+Reader health: a :class:`~repro.service.health.ReaderHealthTracker`
+observes per-reader middleware freshness every batch and drives one
+circuit breaker per reader (open after consecutive staleness, half-open
+probe after the recovery timeout). Open readers are dropped from partial
+snapshots before estimation, so a flapping reader cannot poison the
+subset path. All breaker state changes are structured-logged and
+counted.
 
 Every stage updates the shared :class:`MetricsRegistry`; nothing in this
 module sleeps or reads wall-clock time except through the injectable
@@ -35,6 +47,7 @@ module sleeps or reads wall-clock time except through the injectable
 
 from __future__ import annotations
 
+import re
 import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Mapping
@@ -42,11 +55,14 @@ from typing import Any, Callable, Mapping
 from ..baselines.landmarc import LandmarcEstimator
 from ..core.config import VIREConfig
 from ..core.estimator import VIREEstimator
+from ..core.quorum import QuorumPolicy
 from ..exceptions import ConfigurationError, EstimationError, ReadingError
 from ..geometry.grid import ReferenceGrid
 from ..hardware.middleware import MiddlewareServer
+from ..types import TrackingReading
 from .batcher import Batch, LocalizationRequest, MicroBatcher
 from .cache import InterpolationCache
+from .health import BreakerPolicy, ReaderHealthTracker
 from .ingest import BoundedRecordQueue, IngestionLoop
 from .metrics import MetricsRegistry, get_service_logger, log_event
 
@@ -79,6 +95,21 @@ class ServiceConfig:
         ``empty_fallback`` is forced to ``"error"`` internally — the
         *pipeline* owns degradation, so an empty intersection is always
         recorded as a degraded result rather than silently relaxed.
+    allow_partial:
+        Serve from *partial* middleware snapshots when complete ones are
+        unavailable (degraded deployments). When every series is fresh a
+        partial snapshot equals the strict one, so healthy runs are
+        unaffected. ``False`` restores the strict-only pre-faults
+        behaviour (any gap ⇒ last-known).
+    quorum_min_readers / quorum_min_reference_coverage:
+        The estimator's :class:`~repro.core.quorum.QuorumPolicy` for
+        masked readings (see that class).
+    breaker_failure_threshold / breaker_recovery_timeout_s:
+        Per-reader circuit-breaker tuning (see
+        :class:`~repro.service.health.BreakerPolicy`).
+    health_freshness_floor:
+        Per-reader middleware freshness below which a batch counts as a
+        breaker failure for that reader.
     """
 
     queue_capacity: int = 4096
@@ -93,6 +124,12 @@ class ServiceConfig:
     vire: VIREConfig = field(
         default_factory=lambda: VIREConfig(target_total_tags=900)
     )
+    allow_partial: bool = True
+    quorum_min_readers: int = 2
+    quorum_min_reference_coverage: float = 0.5
+    breaker_failure_threshold: int = 3
+    breaker_recovery_timeout_s: float = 10.0
+    health_freshness_floor: float = 0.5
 
     def __post_init__(self) -> None:
         if self.request_deadline_s is not None and self.request_deadline_s <= 0:
@@ -108,7 +145,13 @@ class ServiceConfig:
             raise ConfigurationError(
                 f"stream_step_s must be positive, got {self.stream_step_s}"
             )
-        # Remaining fields are validated by the components they configure.
+        if not (0.0 < self.health_freshness_floor <= 1.0):
+            raise ConfigurationError(
+                f"health_freshness_floor must be in (0, 1], "
+                f"got {self.health_freshness_floor}"
+            )
+        # Remaining fields are validated by the components they configure
+        # (QuorumPolicy, BreakerPolicy, the queue, the batcher, ...).
 
     def with_(self, **changes) -> "ServiceConfig":
         """Modified copy (thin wrapper over dataclasses.replace)."""
@@ -183,8 +226,21 @@ class ServicePipeline:
             grid,
             self.config.vire.with_(empty_fallback="error"),
             interpolation_cache=self.cache,
+            quorum=QuorumPolicy(
+                min_readers=self.config.quorum_min_readers,
+                min_reference_coverage=self.config.quorum_min_reference_coverage,
+            ),
         )
         self.fallback = LandmarcEstimator()
+        self.health = ReaderHealthTracker(
+            list(middleware.reader_ids),
+            policy=BreakerPolicy(
+                failure_threshold=self.config.breaker_failure_threshold,
+                recovery_timeout_s=self.config.breaker_recovery_timeout_s,
+            ),
+            freshness_floor=self.config.health_freshness_floor,
+            metrics=self.metrics,
+        )
         self.queue = BoundedRecordQueue(self.config.queue_capacity)
         self.ingest = IngestionLoop(self.queue, middleware, metrics=self.metrics)
         self.batcher = MicroBatcher(
@@ -208,8 +264,23 @@ class ServicePipeline:
                 f"service_degraded_{reason}_total",
                 f"Results degraded because of {reason}",
             )
-            for reason in ("empty_intersection", "deadline", "no_reading")
+            for reason in (
+                "empty_intersection",
+                "deadline",
+                "no_reading",
+                "partial_readers",
+                "quorum_unmet",
+            )
         }
+        self._c_frames_received = m.counter(
+            "service_frames_received_total",
+            "Reader frames received across all readers",
+        )
+        self._c_frames_dropped = m.counter(
+            "service_frames_dropped_total",
+            "Reader frames dropped at the detection floor",
+        )
+        self._g_frames_per_reader: dict[str, Any] = {}
         self._c_failed = m.counter(
             "service_requests_failed_total",
             "Requests with no answer at all (no reading, no last estimate)",
@@ -269,12 +340,26 @@ class ServicePipeline:
         # several clients asking about one popular tag) share a single
         # snapshot assembly.
         self.ingest.deliver_pending()
+
+        # Health first: with the middleware state frozen for the batch,
+        # one freshness observation per batch drives the breakers, and
+        # open readers are excluded from every snapshot in the batch.
+        self.health.observe(self.middleware.reader_freshness(now_s), now_s)
+        allowed = set(self.health.allowed_readers(now_s))
+        blocked = frozenset(self.middleware.reader_ids) - allowed
+
         snapshots: dict[str, Any] = {}
+        allow_partial = self.config.allow_partial
 
         def fetch(tag_id: str):
             if tag_id not in snapshots:
                 try:
-                    snapshots[tag_id] = self.middleware.snapshot(tag_id, now_s)
+                    reading = self.middleware.snapshot(
+                        tag_id, now_s, allow_partial=allow_partial
+                    )
+                    if allow_partial and blocked:
+                        reading = self._exclude_readers(reading, blocked)
+                    snapshots[tag_id] = reading
                 except ReadingError:
                     snapshots[tag_id] = None
             return snapshots[tag_id]
@@ -285,7 +370,30 @@ class ServicePipeline:
             if result is not None:
                 results.append(result)
         self._sync_cache_metrics()
+        self._sync_frame_metrics()
         return results
+
+    @staticmethod
+    def _exclude_readers(
+        reading: TrackingReading, blocked: frozenset
+    ) -> TrackingReading | None:
+        """Drop open-breaker readers from a (partial) snapshot.
+
+        Returns ``None`` when no trusted reader remains — the caller
+        then falls to the last-known level of the ladder. The trimmed
+        reading is forced ``masked=True`` so the estimator routes it
+        through the quorum, even when the surviving rows are finite.
+        """
+        if reading.reader_ids is None:
+            return reading
+        keep = [
+            i for i, rid in enumerate(reading.reader_ids) if rid not in blocked
+        ]
+        if len(keep) == len(reading.reader_ids):
+            return reading
+        if not keep:
+            return None
+        return replace(reading.subset_readers(keep), masked=True)
 
     def _serve_one(
         self,
@@ -318,22 +426,63 @@ class ServicePipeline:
                 return None
         elif past_deadline:
             # Too late for the expensive path: serve the cheap estimate.
-            base = self.fallback.estimate(reading)
-            position = base.position
-            degraded, reason = True, "deadline"
-            estimator_name = self.fallback.name
-            diagnostics = dict(base.diagnostics)
+            try:
+                base = self.fallback.estimate(reading)
+            except EstimationError:
+                base = None
+            if base is None:
+                position = self._last_estimate.get(request.tag_id)
+                degraded, reason = True, "no_reading"
+                estimator_name = "last-known"
+                if position is None:
+                    self._c_failed.inc()
+                    log_event(
+                        self._logger, "request_failed",
+                        tag=request.tag_id, t=now_s, reason="no_reading",
+                    )
+                    return None
+            else:
+                position = base.position
+                degraded, reason = True, "deadline"
+                estimator_name = self.fallback.name
+                diagnostics = dict(base.diagnostics)
         else:
             try:
+                # Ladder levels 1 and 2: full VIRE, or — for a masked
+                # snapshot — VIRE on the quorum-surviving reader subset.
                 est = self.vire.estimate(reading)
                 position = est.position
                 diagnostics = dict(est.diagnostics)
+                if reading.masked:
+                    degraded, reason = True, "partial_readers"
             except EstimationError:
-                base = self.fallback.estimate(reading)
-                position = base.position
-                degraded, reason = True, "empty_intersection"
-                estimator_name = self.fallback.name
-                diagnostics = dict(base.diagnostics)
+                # Level 3: NaN-aware LANDMARC. "empty_intersection" on a
+                # healthy reading; "quorum_unmet" when the masked subset
+                # was too thin for VIRE.
+                fallback_reason = (
+                    "quorum_unmet" if reading.masked else "empty_intersection"
+                )
+                try:
+                    base = self.fallback.estimate(reading)
+                except EstimationError:
+                    base = None
+                if base is None:
+                    # Level 4: not even LANDMARC can rank neighbours.
+                    position = self._last_estimate.get(request.tag_id)
+                    degraded, reason = True, "no_reading"
+                    estimator_name = "last-known"
+                    if position is None:
+                        self._c_failed.inc()
+                        log_event(
+                            self._logger, "request_failed",
+                            tag=request.tag_id, t=now_s, reason="no_reading",
+                        )
+                        return None
+                else:
+                    position = base.position
+                    degraded, reason = True, fallback_reason
+                    estimator_name = self.fallback.name
+                    diagnostics = dict(base.diagnostics)
 
         latency = self._perf_clock() - t0
         self._h_latency.observe(latency)
@@ -368,6 +517,41 @@ class ServicePipeline:
         self._c_cache_hits.inc(self.cache.hits - self._c_cache_hits.value)
         self._c_cache_misses.inc(self.cache.misses - self._c_cache_misses.value)
 
+    def _sync_frame_metrics(self) -> None:
+        """Mirror per-reader frame accounting into the registry.
+
+        Satellite of the faults work: readers already count frames
+        received vs dropped at the detection floor; the middleware
+        exposes them (:meth:`MiddlewareServer.frame_stats`) and the
+        service republishes them as gauges (per reader) and monotone
+        totals, so a chaos run's frame loss is visible next to the
+        degradation counters.
+        """
+        stats = self.middleware.frame_stats()
+        if not stats:
+            return
+        total_received = 0
+        total_dropped = 0
+        for reader_id, st in stats.items():
+            total_received += st["received"]
+            total_dropped += st["dropped"]
+            safe = re.sub(r"[^a-zA-Z0-9_:]", "_", str(reader_id))
+            key_r = f"service_frames_received_{safe}"
+            key_d = f"service_frames_dropped_{safe}"
+            if key_r not in self._g_frames_per_reader:
+                self._g_frames_per_reader[key_r] = self.metrics.gauge(
+                    key_r, f"Frames received by reader {reader_id}"
+                )
+                self._g_frames_per_reader[key_d] = self.metrics.gauge(
+                    key_d, f"Frames dropped by reader {reader_id}"
+                )
+            self._g_frames_per_reader[key_r].set(float(st["received"]))
+            self._g_frames_per_reader[key_d].set(float(st["dropped"]))
+        self._c_frames_received.inc(
+            total_received - self._c_frames_received.value
+        )
+        self._c_frames_dropped.inc(total_dropped - self._c_frames_dropped.value)
+
     # -- reporting -----------------------------------------------------------
 
     @property
@@ -379,12 +563,24 @@ class ServicePipeline:
         """The headline numbers the ``serve`` command prints."""
         degraded = self._c_degraded.value
         served = self._c_results.value
+        requests = self._c_requests.value
         return {
-            "requests": self._c_requests.value,
+            "requests": requests,
             "results": served,
             "failed": self._c_failed.value,
             "degraded": degraded,
             "degraded_fraction": degraded / served if served else 0.0,
+            "availability": served / requests if requests else 1.0,
+            "degraded_partial_readers": self._c_degraded_reason[
+                "partial_readers"
+            ].value,
+            "degraded_quorum_unmet": self._c_degraded_reason[
+                "quorum_unmet"
+            ].value,
+            "breaker_transitions": float(self.health.transitions_total()),
+            "open_readers": float(len(self.health.open_readers())),
+            "frames_received": self._c_frames_received.value,
+            "frames_dropped": self._c_frames_dropped.value,
             "batches_flushed": float(self.batcher.batches_flushed),
             "records_dropped": float(self.queue.dropped),
             "queue_high_watermark": float(self.queue.high_watermark),

@@ -25,7 +25,7 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Mapping
 
 from ..exceptions import SimulationError
 from ..experiments.scenarios import TestbedScenario, paper_scenario
@@ -34,6 +34,9 @@ from ..hardware.streams import SimulatorRecordStream
 from ..types import estimation_error
 from .metrics import MetricsRegistry, get_service_logger, log_event
 from .pipeline import ServiceConfig, ServicePipeline, ServiceResult
+
+if TYPE_CHECKING:  # runtime import is lazy (only when a plan is passed)
+    from ..faults.plan import FaultPlan
 
 __all__ = ["SessionReport", "LocalizationService"]
 
@@ -120,13 +123,20 @@ class LocalizationService:
         duration_s: float,
         *,
         on_result: Callable[[ServiceResult], Any] | None = None,
+        fault_plan: "FaultPlan | None" = None,
     ) -> SessionReport:
         """Stream ``scenario`` for ``duration_s`` simulated seconds.
 
         ``scenario`` may be a full :class:`TestbedScenario` or an
         environment preset name (``"Env1"``/``"Env2"``/``"Env3"``).
         ``on_result`` fires synchronously per served result — the CLI's
-        live table hook.
+        live table hook. ``fault_plan`` interposes a seeded
+        :class:`~repro.faults.FaultInjector` on the simulator's record
+        path *after* warm-up completes (warm-up cannot be starved by an
+        injected outage; fault times are absolute simulation seconds);
+        an empty plan is bit-identical to no plan at all. The injector's
+        counters and fault-event trail are folded into the report
+        summary.
         """
         if isinstance(scenario, str):
             scenario = paper_scenario(scenario, n_trials=1)
@@ -138,6 +148,11 @@ class LocalizationService:
             self.config,
             perf_clock=self._perf_clock,
         )
+        injector = None
+        if fault_plan is not None:
+            from ..faults.injector import FaultInjector  # lazy: avoid cycle
+
+            injector = FaultInjector(fault_plan, metrics=pipeline.metrics)
         tag_ids = sorted(f"tag-{label}" for label in scenario.tracking_tags)
         wall_start = self._perf_clock()
 
@@ -145,10 +160,13 @@ class LocalizationService:
             simulator, step_s=self.config.stream_step_s
         ) as stream:
             self._warm_up(stream, pipeline)
+            if injector is not None:
+                simulator.set_fault_injector(injector)
             start_s = simulator.now
             log_event(
                 self._logger, "session_start",
                 tags=len(tag_ids), duration=duration_s, t=start_s,
+                faults=len(fault_plan) if fault_plan is not None else 0,
             )
             asyncio.run(
                 self._session(stream, pipeline, tag_ids, duration_s, on_result)
@@ -166,6 +184,9 @@ class LocalizationService:
         summary["localizations_per_s"] = (
             summary["results"] / wall_s if wall_s > 0 else float("inf")
         )
+        if injector is not None:
+            for key, value in injector.counters().items():
+                summary[f"fault_records_{key}"] = float(value)
         errors = tuple(
             estimation_error(r.position, deployment.tracking_truth[r.tag_id])
             for r in pipeline.results

@@ -51,6 +51,14 @@ class TrackingReading:
         Optional identifier of the tracking tag.
     timestamp:
         Optional simulation/wall-clock time of the snapshot (seconds).
+    masked:
+        ``True`` marks a *partial* reading assembled under degraded
+        input: ``reference_rssi`` may contain NaN where a (reader,
+        reference-tag) series was missing or stale, and readers may be
+        absent entirely. Strict readings (``masked=False``, the default)
+        keep the original all-finite validation, so pre-existing callers
+        are untouched. ``tracking_rssi`` and ``reference_positions``
+        must be finite in either mode.
     """
 
     reference_rssi: np.ndarray
@@ -59,6 +67,7 @@ class TrackingReading:
     reader_ids: tuple[Any, ...] | None = None
     tag_id: Any = None
     timestamp: float | None = None
+    masked: bool = False
 
     def __post_init__(self) -> None:
         ref = np.asarray(self.reference_rssi, dtype=np.float64)
@@ -89,7 +98,11 @@ class TrackingReading:
                 "reference tag count mismatch: reference_rssi has "
                 f"{ref.shape[1]} tags, reference_positions has {pos.shape[0]}"
             )
-        if not np.all(np.isfinite(ref)):
+        if self.masked:
+            # NaN marks a missing series; infinities are still corrupt data.
+            if np.any(np.isinf(ref)):
+                raise ReadingError("reference_rssi contains infinite values")
+        elif not np.all(np.isfinite(ref)):
             raise ReadingError("reference_rssi contains non-finite values")
         if not np.all(np.isfinite(trk)):
             raise ReadingError("tracking_rssi contains non-finite values")
@@ -113,11 +126,26 @@ class TrackingReading:
         """Number of real reference tags in this snapshot."""
         return int(self.reference_rssi.shape[1])
 
+    @property
+    def reference_finite_mask(self) -> np.ndarray:
+        """Boolean ``(K, n_refs)``: True where the reference RSSI is present."""
+        return np.isfinite(self.reference_rssi)
+
+    @property
+    def reader_reference_coverage(self) -> np.ndarray:
+        """Per-reader fraction of present reference values, shape ``(K,)``."""
+        return self.reference_finite_mask.mean(axis=1)
+
+    @property
+    def is_complete(self) -> bool:
+        """True when every reference value is present (masked or not)."""
+        return not self.masked or bool(self.reference_finite_mask.all())
+
     def subset_readers(self, indices: Sequence[int]) -> "TrackingReading":
         """Return a new reading restricted to the given reader indices.
 
         Useful for reader-count ablations and for failure-injection tests
-        (dropping a reader).
+        (dropping a reader). Masked readings stay masked.
         """
         idx = np.asarray(indices, dtype=np.intp)
         if idx.size == 0:
@@ -132,6 +160,7 @@ class TrackingReading:
             reader_ids=ids,
             tag_id=self.tag_id,
             timestamp=self.timestamp,
+            masked=self.masked,
         )
 
 

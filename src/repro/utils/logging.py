@@ -1,0 +1,51 @@
+"""Structured logging shared by every online subsystem.
+
+The streaming service introduced ``event=... key=value`` structured log
+lines; the fault-injection subsystem needs the identical discipline but
+lives *below* the service layer, so the helpers moved here (``utils`` is
+importable from everywhere). :mod:`repro.service.metrics` re-exports them
+for backwards compatibility.
+
+Library rule: never configure the root logger. Every subsystem logger is
+``NullHandler``'d by default; applications opt in with
+``logging.basicConfig(level=logging.INFO)`` (or their own handlers) and
+immediately see the structured events.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_structured_logger", "log_event"]
+
+
+def get_structured_logger(name: str) -> logging.Logger:
+    """A package logger with a ``NullHandler`` attached exactly once."""
+    logger = logging.getLogger(name)
+    if not any(isinstance(h, logging.NullHandler) for h in logger.handlers):
+        logger.addHandler(logging.NullHandler())
+    return logger
+
+
+def _format_field(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    text = str(value)
+    return f'"{text}"' if " " in text else text
+
+
+def log_event(
+    logger: logging.Logger, event: str, /, level: int = logging.INFO, **fields
+) -> None:
+    """Emit one structured ``event=... key=value`` log line.
+
+    The line format is machine-greppable (``event=batch_flush size=8``)
+    while staying readable in a terminal; parsing it back is a
+    ``shlex.split`` away. Lazy: formatting only happens if the logger is
+    enabled for ``level``.
+    """
+    if not logger.isEnabledFor(level):
+        return
+    parts = [f"event={event}"]
+    parts += [f"{k}={_format_field(v)}" for k, v in fields.items()]
+    logger.log(level, " ".join(parts))

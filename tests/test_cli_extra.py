@@ -43,3 +43,45 @@ class TestFigureCommands:
     def test_fig8_small(self, capsys):
         assert main(["figure", "fig8", "--trials", "2"]) == 0
         assert "threshold" in capsys.readouterr().out
+
+
+class TestChaosCommand:
+    ARGS = ["chaos", "--env", "Env1", "--duration", "10",
+            "--preset", "light", "--seed", "3"]
+
+    def test_human_readable_summary(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "chaos session" in out
+        assert "availability" in out
+        assert "fault records" in out
+        assert "breaker transitions" in out
+
+    def test_json_output_is_byte_identical_across_runs(self, capsys):
+        import json
+
+        assert main([*self.ARGS, "--json"]) == 0
+        first = capsys.readouterr().out
+        assert main([*self.ARGS, "--json"]) == 0
+        second = capsys.readouterr().out
+        assert first == second  # the CI smoke-job contract
+        doc = json.loads(first)
+        assert doc["preset"] == "light" and doc["seed"] == 3
+        assert doc["availability"] > 0
+        assert doc["fault_records"]["seen"] > 0
+
+    def test_extra_outage_and_strict_mode(self, capsys):
+        assert main([
+            "chaos", "--env", "Env1", "--duration", "6", "--preset", "none",
+            "--outage-reader", "reader-0", "--outage-start", "0",
+            "--outage-duration", "4", "--strict", "--json",
+        ]) == 0
+        import json
+
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["faults"] == 1
+        assert doc["fault_records"]["dropped"] > 0
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--preset", "doom"])

@@ -1,0 +1,293 @@
+"""Tests for the degraded-input core: masked readings, lattice filling,
+the quorum policy, and the NaN-aware estimator/baseline paths.
+
+These are the layers the fault-injection work leans on — the contract
+throughout is "bit-identical on healthy data, graceful on holes":
+
+* :func:`fill_masked_lattice` returns already-finite lattices unchanged
+  (same object) and fills NaN holes deterministically, exactly at the
+  surviving cells;
+* :class:`QuorumPolicy` passes complete readings through untouched and
+  trims masked ones to the coverage-qualified reader subset (or raises);
+* :class:`VIREEstimator` produces a bitwise-identical estimate when a
+  complete reading is merely *flagged* masked, and a sane one when
+  reference cells are genuinely missing;
+* LANDMARC's RSSI-space distance rescales for per-reference coverage.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import (
+    QuorumPolicy,
+    TrackingReading,
+    VIREConfig,
+    VIREEstimator,
+    paper_testbed_grid,
+)
+from repro.core import fill_masked_lattice
+from repro.baselines.landmarc import LandmarcEstimator, rssi_space_distances
+from repro.exceptions import ConfigurationError, EstimationError
+from repro.experiments.measurement import MeasurementSpec, TrialSampler
+
+from .conftest import make_clean_environment
+
+
+def clean_reading_at(position, seed=0) -> TrackingReading:
+    sampler = TrialSampler(
+        make_clean_environment(),
+        paper_testbed_grid(),
+        seed=seed,
+        measurement=MeasurementSpec(n_reads=1),
+    )
+    return sampler.reading_for(position)
+
+
+def masked_copy(
+    reading: TrackingReading, holes: list[tuple[int, int]] = ()
+) -> TrackingReading:
+    """Flag a reading masked, optionally knocking out (reader, ref) cells."""
+    ref = reading.reference_rssi.copy()
+    for i, j in holes:
+        ref[i, j] = np.nan
+    return dataclasses.replace(reading, reference_rssi=ref, masked=True)
+
+
+# ---------------------------------------------------------------------------
+# fill_masked_lattice
+# ---------------------------------------------------------------------------
+
+
+class TestFillMaskedLattice:
+    def test_finite_input_returned_unchanged_same_object(self):
+        lattice = np.arange(12.0).reshape(3, 4)
+        assert fill_masked_lattice(lattice) is lattice
+
+    def test_single_hole_takes_neighbour_mean(self):
+        lattice = np.array([
+            [1.0, 2.0, 3.0],
+            [4.0, np.nan, 6.0],
+            [7.0, 8.0, 9.0],
+        ])
+        filled = fill_masked_lattice(lattice)
+        # 4-neighbourhood of the hole: 2, 4, 6, 8.
+        assert filled[1, 1] == pytest.approx(5.0)
+
+    def test_exact_at_surviving_cells(self):
+        rng = np.random.default_rng(0)
+        lattice = rng.normal(-60.0, 5.0, size=(6, 6))
+        holed = lattice.copy()
+        holed[([1, 2, 4], [1, 4, 2])] = np.nan
+        filled = fill_masked_lattice(holed)
+        survivors = np.isfinite(holed)
+        assert np.array_equal(filled[survivors], lattice[survivors])
+        assert np.isfinite(filled).all()
+
+    def test_fill_is_deterministic(self):
+        lattice = np.full((5, 5), np.nan)
+        lattice[::2, ::2] = np.arange(9.0).reshape(3, 3)
+        a = fill_masked_lattice(lattice)
+        b = fill_masked_lattice(lattice.copy())
+        assert np.array_equal(a, b)
+        assert np.isfinite(a).all()
+
+    def test_insufficient_coverage_rejected(self):
+        lattice = np.full((4, 4), np.nan)
+        lattice[0, 0] = -50.0  # 1/16 present < default floor
+        with pytest.raises(ConfigurationError, match="coverage"):
+            fill_masked_lattice(lattice)
+
+
+# ---------------------------------------------------------------------------
+# QuorumPolicy
+# ---------------------------------------------------------------------------
+
+
+class TestQuorumPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            QuorumPolicy(min_readers=0)
+        with pytest.raises(ConfigurationError):
+            QuorumPolicy(min_reference_coverage=0.0)
+        with pytest.raises(ConfigurationError):
+            QuorumPolicy(min_reference_coverage=1.5)
+
+    def test_complete_unmasked_reading_passes_through(self):
+        reading = clean_reading_at((1.5, 1.5))
+        decision = QuorumPolicy().apply(reading)
+        assert decision.reading is reading  # same object, zero cost
+        assert not decision.degraded
+        assert decision.surviving_readers == tuple(range(reading.n_readers))
+        assert decision.excluded_readers == ()
+        assert all(c == 1.0 for c in decision.coverage)
+
+    def test_masked_but_complete_is_degraded_but_untrimmed(self):
+        reading = masked_copy(clean_reading_at((1.5, 1.5)))
+        decision = QuorumPolicy().apply(reading)
+        assert decision.reading is reading
+        assert decision.degraded  # flagged: provenance is partial
+
+    def test_low_coverage_reader_excluded(self):
+        reading = clean_reading_at((1.5, 1.5))
+        n_refs = reading.n_references
+        # Reader 2 loses 60% of its reference columns: below the 0.5 floor.
+        holes = [(2, j) for j in range(int(0.6 * n_refs) + 1)]
+        decision = QuorumPolicy().apply(masked_copy(reading, holes))
+        assert decision.degraded
+        assert 2 in decision.excluded_readers
+        assert decision.reading.n_readers == reading.n_readers - 1
+        assert decision.coverage[2] < 0.5
+
+    def test_quorum_unmet_raises(self):
+        reading = clean_reading_at((1.5, 1.5))
+        n_refs = reading.n_references
+        # Wipe most references for all but one reader.
+        holes = [
+            (i, j)
+            for i in range(1, reading.n_readers)
+            for j in range(n_refs - 1)
+        ]
+        with pytest.raises(EstimationError, match="quorum unmet"):
+            QuorumPolicy().apply(masked_copy(reading, holes))
+
+    def test_diagnostics_shape(self):
+        decision = QuorumPolicy().apply(
+            masked_copy(clean_reading_at((1.0, 2.0)), holes=[(0, 0)])
+        )
+        diag = decision.diagnostics()
+        assert set(diag) == {
+            "quorum_surviving_readers",
+            "quorum_excluded_readers",
+            "quorum_coverage",
+            "quorum_degraded",
+        }
+        assert diag["quorum_degraded"] is True
+
+
+# ---------------------------------------------------------------------------
+# Masked VIRE estimation
+# ---------------------------------------------------------------------------
+
+
+class TestMaskedEstimation:
+    def test_masked_flag_alone_is_bit_identical(self):
+        grid = paper_testbed_grid()
+        vire = VIREEstimator(grid, VIREConfig(subdivisions=5))
+        reading = clean_reading_at((1.2, 2.1))
+        strict = vire.estimate(reading)
+        masked = vire.estimate(masked_copy(reading))
+        assert masked.position == strict.position  # bitwise
+        assert masked.diagnostics["quorum_degraded"] is True
+
+    def test_holes_still_localize(self):
+        grid = paper_testbed_grid()
+        vire = VIREEstimator(grid, VIREConfig(subdivisions=5))
+        target = (1.5, 1.5)
+        reading = clean_reading_at(target)
+        # Two dead reference tags (all readers lose those columns).
+        holes = [(i, j) for i in range(reading.n_readers) for j in (5, 10)]
+        result = vire.estimate(masked_copy(reading, holes))
+        assert result.error_to(target) < 0.8
+        assert result.diagnostics["quorum_degraded"] is True
+
+    def test_dead_reader_is_excluded_then_estimates(self):
+        grid = paper_testbed_grid()
+        vire = VIREEstimator(grid, VIREConfig(subdivisions=5))
+        target = (2.0, 1.0)
+        reading = clean_reading_at(target)
+        holes = [(1, j) for j in range(reading.n_references)]
+        result = vire.estimate(masked_copy(reading, holes))
+        assert result.diagnostics["quorum_excluded_readers"] == [1]
+        assert result.error_to(target) < 1.0
+
+    def test_quorum_unmet_propagates_as_estimation_error(self):
+        grid = paper_testbed_grid()
+        vire = VIREEstimator(grid, VIREConfig(subdivisions=5))
+        reading = clean_reading_at((1.5, 1.5))
+        holes = [
+            (i, j)
+            for i in range(1, reading.n_readers)
+            for j in range(reading.n_references - 1)
+        ]
+        with pytest.raises(EstimationError, match="quorum unmet"):
+            vire.estimate(masked_copy(reading, holes))
+
+
+# ---------------------------------------------------------------------------
+# NaN-aware LANDMARC
+# ---------------------------------------------------------------------------
+
+
+class TestNanAwareLandmarc:
+    def test_finite_path_matches_plain_norm(self):
+        reading = clean_reading_at((1.3, 1.7))
+        expected = np.linalg.norm(
+            reading.reference_rssi - reading.tracking_rssi[:, np.newaxis],
+            axis=0,
+        )
+        np.testing.assert_allclose(
+            rssi_space_distances(reading), expected, rtol=1e-12
+        )
+
+    def test_distance_bitwise_invariant_under_reader_order(self):
+        # The canonical (sorted) reduction makes E exactly permutation
+        # invariant — near-ties must not flip with reader order.
+        reading = clean_reading_at((1.3, 1.7))
+        reversed_ = reading.subset_readers([3, 2, 1, 0])
+        assert np.array_equal(
+            rssi_space_distances(reading), rssi_space_distances(reversed_)
+        )
+
+    def test_coverage_rescaled_distance(self):
+        # 2 readers, 1 reference; reader 1's reading missing.
+        reading = TrackingReading(
+            reference_rssi=np.array([[-50.0], [np.nan]]),
+            tracking_rssi=np.array([-53.0, -60.0]),
+            reference_positions=np.array([[0.0, 0.0]]),
+            masked=True,
+        )
+        # E = (K/m * sum |diff|^2)^(1/2) = (2/1 * 9)^(1/2).
+        assert rssi_space_distances(reading)[0] == pytest.approx(np.sqrt(18.0))
+
+    def test_fully_absent_reference_is_never_a_neighbour(self):
+        reading = TrackingReading(
+            reference_rssi=np.array([
+                [np.nan, -50.0],
+                [np.nan, -51.0],
+            ]),
+            tracking_rssi=np.array([-50.0, -51.0]),
+            reference_positions=np.array([[0.0, 0.0], [1.0, 1.0]]),
+            masked=True,
+        )
+        e = rssi_space_distances(reading)
+        assert np.isinf(e[0]) and np.isfinite(e[1])
+        # The estimator must land on the only rankable reference.
+        result = LandmarcEstimator(k=1).estimate(reading)
+        assert tuple(result.position) == (1.0, 1.0)
+
+    def test_all_absent_raises(self):
+        reading = TrackingReading(
+            reference_rssi=np.full((2, 3), np.nan),
+            tracking_rssi=np.array([-50.0, -51.0]),
+            reference_positions=np.zeros((3, 2)),
+            masked=True,
+        )
+        with pytest.raises(EstimationError, match="cannot rank"):
+            LandmarcEstimator().estimate(reading)
+
+    def test_masked_landmarc_still_close_in_clean_channel(self):
+        target = (1.5, 1.5)
+        reading = clean_reading_at(target)
+        holed = reading.reference_rssi.copy()
+        holed[0, 3] = np.nan
+        holed[2, 7] = np.nan
+        masked = dataclasses.replace(
+            reading, reference_rssi=holed, masked=True
+        )
+        baseline = LandmarcEstimator().estimate(reading)
+        degraded = LandmarcEstimator().estimate(masked)
+        assert degraded.error_to(target) < baseline.error_to(target) + 0.75

@@ -139,3 +139,127 @@ class TestMiddleware:
     def test_needs_reference_tags(self):
         with pytest.raises(ConfigurationError):
             MiddlewareServer(reader_ids=["r0"], reference_tags={})
+
+
+class TestPartialSnapshot:
+    """allow_partial=True: masked readings instead of ReadingError."""
+
+    def test_complete_data_equals_strict(self):
+        server = make_server()
+        fill_all(server)
+        strict = server.snapshot("track", now_s=1.0)
+        partial = server.snapshot("track", now_s=1.0, allow_partial=True)
+        assert not partial.masked
+        assert np.array_equal(strict.reference_rssi, partial.reference_rssi)
+        assert np.array_equal(strict.tracking_rssi, partial.tracking_rssi)
+        assert strict.reader_ids == partial.reader_ids
+
+    def test_missing_reference_becomes_nan(self):
+        server = make_server()
+        feed(server, "r0", "ref-0", [-70.0])
+        feed(server, "r0", "track", [-60.0])
+        feed(server, "r1", "ref-0", [-70.0])
+        feed(server, "r1", "ref-1", [-71.0])
+        feed(server, "r1", "track", [-61.0])
+        snap = server.snapshot("track", now_s=1.0, allow_partial=True)
+        assert snap.masked
+        assert snap.n_readers == 2
+        assert np.isnan(snap.reference_rssi[0, 1])  # r0 never saw ref-1
+        assert np.isfinite(snap.reference_rssi[1]).all()
+
+    def test_reader_without_tracking_value_absent(self):
+        server = make_server()
+        fill_all(server)
+        # r1's tracking series goes stale-free but we build a fresh server
+        # where r1 never saw the tracking tag at all.
+        fresh = make_server()
+        for reader in fresh.reader_ids:
+            for tag in fresh.reference_ids:
+                fresh.ingest(ReadingRecord(reader, tag, 0.0, -70.0))
+        feed(fresh, "r0", "track", [-60.0])
+        snap = fresh.snapshot("track", now_s=1.0, allow_partial=True)
+        assert snap.masked
+        assert snap.n_readers == 1
+        assert snap.reader_ids == ("r0",)
+
+    def test_no_reader_has_tracking_still_raises(self):
+        server = make_server()
+        for reader in server.reader_ids:
+            for tag in server.reference_ids:
+                server.ingest(ReadingRecord(reader, tag, 0.0, -70.0))
+        with pytest.raises(ReadingError, match="no reader"):
+            server.snapshot("track", now_s=1.0, allow_partial=True)
+
+    def test_stale_expiry_masks_in_partial_mode(self):
+        server = make_server(max_age=5.0)
+        fill_all(server, t=0.0)
+        feed(server, "r0", "track", [-60.0], t0=99.0)
+        feed(server, "r0", "ref-0", [-70.0], t0=99.0)
+        snap = server.snapshot("track", now_s=100.0, allow_partial=True)
+        assert snap.masked
+        assert snap.reader_ids == ("r0",)  # r1 fully stale -> absent
+        assert np.isnan(snap.reference_rssi[0, 1])  # ref-1 stale for r0
+
+
+class TestFrameStatsAndFreshness:
+    def test_frame_stats_requires_known_reader(self):
+        server = make_server()
+
+        class FakeReader:
+            reader_id = "r9"
+            frames_received = 0
+            frames_dropped = 0
+
+        with pytest.raises(ConfigurationError, match="unknown reader"):
+            server.register_frame_source(FakeReader())
+
+    def test_frame_stats_mirror_reader_counters(self):
+        server = make_server()
+
+        class FakeReader:
+            def __init__(self, rid):
+                self.reader_id = rid
+                self.frames_received = 7
+                self.frames_dropped = 2
+
+        r0, r1 = FakeReader("r0"), FakeReader("r1")
+        server.register_frame_source(r0)
+        server.register_frame_source(r1)
+        r1.frames_received = 11  # live counter: stats read through
+        stats = server.frame_stats()
+        assert stats["r0"] == {"received": 7, "dropped": 2}
+        assert stats["r1"] == {"received": 11, "dropped": 2}
+
+    def test_frame_stats_zero_without_sources(self):
+        assert make_server().frame_stats() == {
+            "r0": {"received": 0, "dropped": 0},
+            "r1": {"received": 0, "dropped": 0},
+        }
+
+    def test_coverage_guards_zero_references(self):
+        # Degenerate server built by bypassing the reference-tag check is
+        # impossible via the constructor; the guard is exercised through
+        # reader_freshness's vacuous case instead (no tags tracked).
+        server = make_server()
+        fresh = server.reader_freshness(now_s=0.0)
+        # No tracking tags given and references never seen -> 0.0 each.
+        assert fresh == {"r0": 0.0, "r1": 0.0}
+
+    def test_reader_freshness_counts_tracking_tags(self):
+        server = make_server(max_age=5.0)
+        fill_all(server, t=0.0)
+        fresh = server.reader_freshness(now_s=1.0, tracking_tag_ids=("track",))
+        assert fresh == {"r0": 1.0, "r1": 1.0}
+        # After expiry everything is stale.
+        fresh = server.reader_freshness(now_s=100.0, tracking_tag_ids=("track",))
+        assert fresh == {"r0": 0.0, "r1": 0.0}
+
+    def test_reader_freshness_partial(self):
+        server = make_server(max_age=5.0)
+        fill_all(server, t=0.0)
+        # Only r0 keeps beating.
+        feed(server, "r0", "ref-0", [-70.0], t0=98.0)
+        feed(server, "r0", "ref-1", [-70.0], t0=98.0)
+        fresh = server.reader_freshness(now_s=100.0)
+        assert fresh["r0"] == 1.0
+        assert fresh["r1"] == 0.0

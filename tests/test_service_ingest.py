@@ -167,3 +167,53 @@ class TestSimulatorRecordStream:
                 sync_records.extend(records)
         async_records = asyncio.run(collect(build()))
         assert async_records == sync_records
+
+
+class TestQueueAccountingProperty:
+    """Property-style: conservation law under interleaved offer/drain.
+
+    For any interleaving of offers and drains, the queue must satisfy
+    ``offered == delivered + dropped + len(queue)`` at every step, drain
+    in FIFO order among survivors, and never exceed its capacity.
+    """
+
+    def test_interleaved_offer_drain_conservation(self):
+        import random
+
+        rng = random.Random(1234)
+        for capacity in (1, 2, 7, 32):
+            q = BoundedRecordQueue(capacity=capacity)
+            delivered = []
+            seq = 0
+            for _ in range(400):
+                action = rng.random()
+                if action < 0.6:
+                    n = rng.randint(1, 5)
+                    for _ in range(n):
+                        q.offer(record(seq))
+                        seq += 1
+                elif action < 0.9:
+                    delivered.extend(q.drain(max_items=rng.randint(1, 8)))
+                else:
+                    delivered.extend(q.drain())
+                # Conservation at every step.
+                assert q.offered == seq
+                assert q.offered == q.delivered + q.dropped + len(q)
+                assert len(q) <= capacity
+                assert q.high_watermark <= capacity
+            delivered.extend(q.drain())
+            assert q.delivered == len(delivered)
+            assert q.offered == q.delivered + q.dropped
+            # FIFO among survivors: timestamps strictly increasing.
+            times = [r.time_s for r in delivered]
+            assert times == sorted(times)
+            # Drop-oldest: the final record offered is never shed.
+            assert delivered and delivered[-1].time_s == float(seq - 1)
+
+    def test_burst_overflow_sheds_exactly_excess(self):
+        q = BoundedRecordQueue(capacity=5)
+        for i in range(12):
+            q.offer(record(i))
+        assert q.dropped == 7
+        assert [r.time_s for r in q.drain()] == [7.0, 8.0, 9.0, 10.0, 11.0]
+        assert q.offered == 12 and q.delivered == 5
