@@ -117,6 +117,12 @@ from .service import (
     InterpolationCache,
     MetricsRegistry,
 )
+from .engine import (
+    BatchEngine,
+    BatchLandmarc,
+    EngineConfig,
+    estimate_all,
+)
 from .experiments import (
     TestbedScenario,
     paper_scenario,
@@ -163,6 +169,8 @@ __all__ = [
     # tracking (mobility)
     "Trajectory", "TagTracker", "KalmanFilter2D", "AlphaBetaFilter",
     "MovingAverageFilter", "NoFilter", "evaluate_track",
+    # engine (vectorized batch estimation)
+    "BatchEngine", "BatchLandmarc", "EngineConfig", "estimate_all",
     # experiments
     "TestbedScenario", "paper_scenario", "run_scenario", "TrialSampler",
     "MeasurementSpec", "figures", "sweeps", "analysis",

@@ -98,9 +98,31 @@ class LandmarcEstimator:
         self.epsilon = float(epsilon)
 
     def estimate(self, reading: TrackingReading) -> EstimateResult:
+        return self._estimate_from_distances(reading, rssi_space_distances(reading))
+
+    def estimate_batch(self, readings) -> list[EstimateResult]:
+        """Batched estimation — bitwise identical to a scalar loop.
+
+        Delegates to :class:`repro.engine.batch.BatchLandmarc`, which
+        computes the RSSI-space distances for every reading in one
+        ``(T, K, n_refs)`` tensor pass and reuses the scalar k-NN
+        selection per tag. Raises the first per-reading error in input
+        order, exactly as a sequential loop would.
+        """
+        from ..engine.batch import BatchLandmarc  # lazy: engine sits above
+
+        return BatchLandmarc(self).estimate_batch(readings)
+
+    def _estimate_from_distances(
+        self, reading: TrackingReading, e: np.ndarray
+    ) -> EstimateResult:
+        """k-NN selection and weighting from precomputed distances.
+
+        Split out so the batch engine can feed distances from its
+        vectorized tensor pass through the exact scalar selection code.
+        """
         n_refs = reading.n_references
         k = min(self.k, n_refs)
-        e = rssi_space_distances(reading)
         if not np.any(np.isfinite(e)):
             raise EstimationError(
                 "no reference tag shares a present RSSI reading with the "

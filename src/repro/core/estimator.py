@@ -250,6 +250,41 @@ class VIREEstimator:
             },
         )
 
+    # -- batched estimation ---------------------------------------------------
+
+    @property
+    def _engine(self):
+        """Lazily constructed :class:`repro.engine.batch.BatchEngine`.
+
+        Imported on first use: ``core`` must not import ``engine`` at
+        module load (the engine sits above the algorithm layer).
+        """
+        engine = self.__dict__.get("_engine_instance")
+        if engine is None:
+            from ..engine.batch import BatchEngine
+
+            engine = BatchEngine(self)
+            self.__dict__["_engine_instance"] = engine
+        return engine
+
+    def estimate_batch(self, readings) -> list[EstimateResult]:
+        """Localize a batch of readings with the vectorized engine.
+
+        Bitwise identical to ``[self.estimate(r) for r in readings]``,
+        including raising the first error a sequential loop would hit.
+        Shared interpolation work (tags observed against the same
+        reference lattices) is computed once for the whole batch — see
+        :mod:`repro.engine` and ``docs/ENGINE.md``.
+        """
+        return self._engine.estimate_batch(readings)
+
+    def estimate_outcomes(self, readings):
+        """Per-reading results *or* errors (no raise) — the service form.
+
+        See :meth:`repro.engine.batch.BatchEngine.estimate_outcomes`.
+        """
+        return self._engine.estimate_outcomes(readings)
+
     def selection_mask(self, reading: TrackingReading) -> np.ndarray:
         """The surviving-cell mask for one reading (for visualization)."""
         min_votes = self.config.min_votes

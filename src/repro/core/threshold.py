@@ -129,18 +129,52 @@ class AdaptiveThresholdSelector:
 
         Agreement with :meth:`closed_form` within one ``step_db`` is a
         unit-tested invariant.
+
+        The descent is *clamped* by the closed-form lower bound: a naive
+        step-by-step walk from the widest threshold needs
+        ``(max - minimal) / step_db`` iterations, which on wide deviation
+        ranges (strong interference, masked inputs with a few dominant
+        finite cells) used to exhaust ``max_iterations`` and return a
+        threshold far above the feasible minimum. We first jump straight
+        to the last step above the closed-form bound, then settle with at
+        most a couple of ordinary descent steps — O(1) iterations
+        regardless of the range, same grid of candidate thresholds
+        (``start - m * step_db``) as the naive walk. NaN deviations
+        (masked inputs) are tolerated: the start point is the largest
+        *finite* deviation, and NaN cells never join the intersection.
         """
         dev = _check_deviations(deviations)
-        threshold = float(dev.max())
+        # Raises ConfigurationError when no feasible threshold exists
+        # (fewer than min_cells fully-known cells) — same contract as the
+        # closed form.
+        lower = minimal_feasible_threshold(dev, min_cells=self.min_cells)
+        finite = np.isfinite(dev)
+        threshold = float(dev[finite].max())
 
         def intersection_size(t: float) -> int:
-            return int((dev <= t).all(axis=0).sum())
+            # NaN <= t is False, so unknown cells never count.
+            with np.errstate(invalid="ignore"):
+                return int((dev <= t).all(axis=0).sum())
 
         if intersection_size(threshold) < self.min_cells:
             raise ConfigurationError(
                 f"even the widest threshold keeps fewer than "
                 f"{self.min_cells} cells"
             )
+        # Jump to the last grid point at or above the closed-form bound.
+        if threshold > lower:
+            steps = int((threshold - lower) // self.step_db)
+            if steps > 0:
+                jumped = threshold - steps * self.step_db
+                # Guard float rounding: never jump below feasibility.
+                while (
+                    jumped < lower
+                    or jumped < 0
+                    or intersection_size(jumped) < self.min_cells
+                ):
+                    jumped += self.step_db
+                threshold = jumped
+        # Settle with the ordinary descent (at most a couple of steps).
         for _ in range(self.max_iterations):
             trial = threshold - self.step_db
             if trial < 0 or intersection_size(trial) < self.min_cells:

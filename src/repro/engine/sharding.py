@@ -1,0 +1,76 @@
+"""Process sharding for multi-snapshot engine work.
+
+Multi-snapshot workloads (Monte-Carlo sweeps, replayed traces) are
+embarrassingly parallel across snapshots but benefit from *batching
+within* a worker: each shard of snapshots is handed to the worker as one
+unit so the engine's vectorized kernels amortize over the whole shard.
+:func:`map_shards` is the thin dispatcher behind
+:class:`~repro.engine.config.EngineConfig` — serial when ``n_jobs`` is
+``None``/1 (the reproducible default), a process pool otherwise. Results
+come back flattened in input order either way, so parallel runs are
+bit-identical to serial ones.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+from ..exceptions import ConfigurationError
+from ..utils.parallel import compute_chunksize, resolve_n_jobs
+from .config import EngineConfig
+
+T = TypeVar("T")
+
+__all__ = ["compute_shards", "map_shards"]
+
+
+def compute_shards(
+    n_items: int, config: EngineConfig | None = None
+) -> list[range]:
+    """Partition ``range(n_items)`` into contiguous shards.
+
+    Shard size follows ``config.shard_size`` when given; otherwise
+    :func:`repro.utils.parallel.compute_chunksize` picks one that keeps
+    roughly four shards in flight per worker (serial runs get a single
+    shard — no reason to split work nobody will overlap).
+    """
+    if n_items < 0:
+        raise ConfigurationError(f"n_items must be >= 0, got {n_items}")
+    if n_items == 0:
+        return []
+    config = config or EngineConfig()
+    jobs = resolve_n_jobs(config.n_jobs)
+    if config.shard_size is not None:
+        size = config.shard_size
+    elif jobs == 1:
+        size = n_items
+    else:
+        size = compute_chunksize(n_items, min(jobs, n_items))
+    return [range(lo, min(lo + size, n_items)) for lo in range(0, n_items, size)]
+
+
+def map_shards(
+    fn: Callable[[Sequence[int]], Sequence[T]],
+    n_items: int,
+    *,
+    config: EngineConfig | None = None,
+) -> list[T]:
+    """Apply ``fn`` to each shard of indices; flatten in input order.
+
+    ``fn`` receives a contiguous index shard and must return one result
+    per index, in shard order. It must be picklable (module-level
+    function or :func:`functools.partial` of one) when the config asks
+    for more than one worker.
+    """
+    config = config or EngineConfig()
+    shards = compute_shards(n_items, config)
+    jobs = resolve_n_jobs(config.n_jobs)
+    if jobs == 1 or len(shards) <= 1:
+        return [item for shard in shards for item in fn(shard)]
+    workers = min(jobs, len(shards))
+    out: list[T] = []
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for chunk in pool.map(fn, shards):
+            out.extend(chunk)
+    return out

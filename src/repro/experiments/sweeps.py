@@ -23,6 +23,7 @@ from ..baselines.landmarc import LandmarcEstimator
 from ..core.boundary import BoundaryAwareEstimator
 from ..core.config import VIREConfig
 from ..core.estimator import VIREEstimator
+from ..engine import EngineConfig, estimate_all
 from ..exceptions import ConfigurationError
 from ..geometry.grid import ReferenceGrid
 from ..geometry.placement import (
@@ -74,8 +75,9 @@ def _mean_error(
     estimator: Estimator,
     tags: Sequence[int] = NON_BOUNDARY_TAGS,
     n_jobs: int | None = None,
+    engine: EngineConfig | None = None,
 ) -> float:
-    result = run_scenario(scenario, [estimator], n_jobs=n_jobs)
+    result = run_scenario(scenario, [estimator], n_jobs=n_jobs, engine=engine)
     return result.estimators[0].summary(tags=tags).mean
 
 
@@ -85,6 +87,7 @@ def sweep_interpolation(
     n_trials: int = 15,
     base_seed: int = 0,
     n_jobs: int | None = None,
+    engine: EngineConfig | None = None,
 ) -> SweepResult:
     """Linear (the paper) vs polynomial vs spline interpolation (§6)."""
     env = environment or env3()
@@ -94,7 +97,7 @@ def sweep_interpolation(
     for kind in ("linear", "polynomial", "spline"):
         config = VIREConfig(target_total_tags=900, interpolation=kind)
         values[kind] = _mean_error(
-            scenario, VIREEstimator(grid, config), n_jobs=n_jobs
+            scenario, VIREEstimator(grid, config), n_jobs=n_jobs, engine=engine
         )
     return SweepResult(
         parameter="interpolation", values=values, environment_name=env.name
@@ -111,7 +114,10 @@ def sweep_reader_count(
     """Effect of the number of readers (paper §6 future work).
 
     Readers are dropped from the canonical 4-corner deployment (SW, SE,
-    NW, NE order), exercising ``TrackingReading.subset_readers``.
+    NW, NE order), exercising ``TrackingReading.subset_readers``. Each
+    trial's readings are localized as one batch through the vectorized
+    engine (readings are sampled in the historical tag order first, so
+    the RNG draw sequence — and hence every number — is unchanged).
     """
     env = environment or env3()
     scenario = paper_scenario(env, n_trials=n_trials, base_seed=base_seed)
@@ -130,10 +136,15 @@ def sweep_reader_count(
                 env, grid, seed=scenario.trial_seed(trial),
                 measurement=scenario.measurement,
             )
-            for tag in NON_BOUNDARY_TAGS:
-                true_pos = scenario.tracking_tags[tag]
-                reading = sampler.reading_for(true_pos).subset_readers(keep)
-                errors.append(vire.estimate(reading).error_to(true_pos))
+            positions = [scenario.tracking_tags[t] for t in NON_BOUNDARY_TAGS]
+            readings = [
+                sampler.reading_for(pos).subset_readers(keep)
+                for pos in positions
+            ]
+            for result, true_pos in zip(
+                estimate_all(vire, readings), positions
+            ):
+                errors.append(result.error_to(true_pos))
         values[f"{count} readers"] = float(np.mean(errors))
     return SweepResult(
         parameter="reader count", values=values, environment_name=env.name
@@ -147,6 +158,7 @@ def sweep_grid_spacing(
     n_trials: int = 15,
     base_seed: int = 0,
     n_jobs: int | None = None,
+    engine: EngineConfig | None = None,
 ) -> SweepResult:
     """Effect of reference-grid spacing (paper §6 future work).
 
@@ -166,7 +178,7 @@ def sweep_grid_spacing(
         )
         vire = VIREEstimator(grid, VIREConfig(target_total_tags=900))
         values[f"{grid.spacing_x:.2f} m"] = _mean_error(
-            scenario, vire, n_jobs=n_jobs
+            scenario, vire, n_jobs=n_jobs, engine=engine
         )
     return SweepResult(
         parameter="grid spacing", values=values, environment_name=env.name
@@ -179,6 +191,7 @@ def sweep_weighting(
     n_trials: int = 15,
     base_seed: int = 0,
     n_jobs: int | None = None,
+    engine: EngineConfig | None = None,
 ) -> SweepResult:
     """Ablate the w1/w2 weighting factors of §4.3."""
     env = environment or env3()
@@ -196,7 +209,9 @@ def sweep_weighting(
         ),
     }
     values = {
-        label: _mean_error(scenario, VIREEstimator(grid, config), n_jobs=n_jobs)
+        label: _mean_error(
+            scenario, VIREEstimator(grid, config), n_jobs=n_jobs, engine=engine
+        )
         for label, config in variants.items()
     }
     return SweepResult(
@@ -210,6 +225,7 @@ def sweep_equipment(
     n_trials: int = 15,
     base_seed: int = 0,
     n_jobs: int | None = None,
+    engine: EngineConfig | None = None,
 ) -> SweepResult:
     """Direct RSSI vs the original 8-level power quantization (§3.1).
 
@@ -226,7 +242,7 @@ def sweep_equipment(
             env, n_trials=n_trials, base_seed=base_seed
         ).with_(measurement=MeasurementSpec(n_reads=10, quantizer=quantizer))
         values[label] = _mean_error(
-            scenario, LandmarcEstimator(), n_jobs=n_jobs
+            scenario, LandmarcEstimator(), n_jobs=n_jobs, engine=engine
         )
     return SweepResult(
         parameter="equipment (LANDMARC)", values=values, environment_name=env.name
@@ -251,6 +267,7 @@ def boundary_compensation_study(
     base_seed: int = 0,
     extension_cells: int = 1,
     n_jobs: int | None = None,
+    engine: EngineConfig | None = None,
 ) -> BoundaryStudyResult:
     """Plain VIRE vs the §6 boundary-aware variant."""
     env = environment or env3()
@@ -262,7 +279,7 @@ def boundary_compensation_study(
         VIREConfig(target_total_tags=900),
         extension_cells=extension_cells,
     )
-    result = run_scenario(scenario, [plain, aware], n_jobs=n_jobs)
+    result = run_scenario(scenario, [plain, aware], n_jobs=n_jobs, engine=engine)
     plain_err = result.by_name("VIRE")
     aware_err = result.by_name("VIRE+boundary")
     return BoundaryStudyResult(

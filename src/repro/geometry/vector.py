@@ -25,6 +25,13 @@ __all__ = [
 
 _EPS = 1e-12
 
+#: Below this length a segment is treated as a point for intersection
+#: purposes. The :class:`Segment` constructor rejects lengths under
+#: ``_EPS``, but lengths in ``[_EPS, _POINT_LIKE]`` are still so short
+#: that direction-based (cross-product) classification is numerically
+#: meaningless — containment tests are the robust answer there.
+_POINT_LIKE = 1e-9
+
 
 @dataclass(frozen=True)
 class Segment:
@@ -79,17 +86,53 @@ def segment_intersection(s1: Segment, s2: Segment) -> tuple[float, float] | None
 
     For collinear overlapping segments the midpoint of the overlap is
     returned. Endpoint touching counts as intersection.
+
+    The classification thresholds are *scale-aware* and evaluated
+    symmetrically in the two segments, so
+    ``segments_intersect(a, b) == segments_intersect(b, a)`` holds even
+    for near-degenerate (barely-above-``_EPS``-length) segments — a
+    hypothesis-found counterexample used to flip the answer when one
+    segment was ~1e-11 long, because the parallel/collinear tests were
+    measured against the *first* segment's direction only.
     """
     p = np.asarray(s1.a)
     r = np.asarray(s1.b) - p
     q = np.asarray(s2.a)
     s = np.asarray(s2.b) - q
+    len_r = float(np.hypot(r[0], r[1]))
+    len_s = float(np.hypot(s[0], s[1]))
+
+    # Near-degenerate segments (constructible above the _EPS floor but
+    # geometrically point-like): closed-set point-containment tests,
+    # symmetric by construction.
+    if len_r <= _POINT_LIKE or len_s <= _POINT_LIKE:
+        if len_r <= _POINT_LIKE and len_s <= _POINT_LIKE:
+            pm = p + 0.5 * r
+            qm = q + 0.5 * s
+            if float(np.hypot(pm[0] - qm[0], pm[1] - qm[1])) <= _POINT_LIKE:
+                return (float(pm[0]), float(pm[1]))
+            return None
+        if len_r <= _POINT_LIKE:
+            pm = p + 0.5 * r
+            if point_segment_distance((pm[0], pm[1]), s2) <= _POINT_LIKE:
+                return (float(pm[0]), float(pm[1]))
+            return None
+        qm = q + 0.5 * s
+        if point_segment_distance((qm[0], qm[1]), s1) <= _POINT_LIKE:
+            return (float(qm[0]), float(qm[1]))
+        return None
+
     rxs = float(r[0] * s[1] - r[1] * s[0])
     qp = q - p
     qpxr = float(qp[0] * r[1] - qp[1] * r[0])
 
-    if abs(rxs) < _EPS:
-        if abs(qpxr) > _EPS:
+    if abs(rxs) <= _EPS * len_r * len_s:  # parallel (scale-invariant test)
+        # Perpendicular offset between the two parallel support lines,
+        # measured from both sides so the test is order-symmetric.
+        pq = -qp
+        qpxs = float(pq[0] * s[1] - pq[1] * s[0])
+        offset = max(abs(qpxr) / len_r, abs(qpxs) / len_s)
+        if offset > _EPS:
             return None  # parallel, non-collinear
         # Collinear: project onto r and look for parameter overlap.
         rr = float(r @ r)

@@ -56,7 +56,15 @@ from ..baselines.landmarc import LandmarcEstimator
 from ..core.config import VIREConfig
 from ..core.estimator import VIREEstimator
 from ..core.quorum import QuorumPolicy
-from ..exceptions import ConfigurationError, EstimationError, ReadingError
+from ..engine import EngineConfig
+from ..engine.batch import BatchLandmarc, Outcome
+from ..engine.sharding import compute_shards
+from ..exceptions import (
+    ConfigurationError,
+    EstimationError,
+    ReadingError,
+    ReproError,
+)
 from ..geometry.grid import ReferenceGrid
 from ..hardware.middleware import MiddlewareServer
 from ..types import TrackingReading
@@ -110,6 +118,14 @@ class ServiceConfig:
     health_freshness_floor:
         Per-reader middleware freshness below which a batch counts as a
         breaker failure for that reader.
+    engine:
+        :class:`~repro.engine.EngineConfig` scheduling the batch
+        estimation passes. On the serving path only ``shard_size``
+        applies (it bounds the per-pass tensor size — memory control for
+        huge micro-batches); ``n_jobs`` is for multi-snapshot sweeps and
+        is ignored here because the in-process middleware and estimators
+        are not picklable. Whatever the knobs, answers are bitwise
+        identical to serving requests one by one.
     """
 
     queue_capacity: int = 4096
@@ -130,6 +146,7 @@ class ServiceConfig:
     breaker_failure_threshold: int = 3
     breaker_recovery_timeout_s: float = 10.0
     health_freshness_floor: float = 0.5
+    engine: EngineConfig = field(default_factory=EngineConfig)
 
     def __post_init__(self) -> None:
         if self.request_deadline_s is not None and self.request_deadline_s <= 0:
@@ -232,6 +249,7 @@ class ServicePipeline:
             ),
         )
         self.fallback = LandmarcEstimator()
+        self._batch_fallback = BatchLandmarc(self.fallback)
         self.health = ReaderHealthTracker(
             list(middleware.reader_ids),
             policy=BreakerPolicy(
@@ -364,14 +382,81 @@ class ServicePipeline:
                     snapshots[tag_id] = None
             return snapshots[tag_id]
 
+        # The whole batch is localized in two vectorized passes through
+        # the batch engine — one primary VIRE pass, then one LANDMARC
+        # pass over exactly the requests the scalar ladder would have
+        # sent there (past-deadline requests and VIRE refusals). Answers
+        # are bitwise identical to serving requests one at a time; only
+        # the wall-clock cost is amortized. Pass latency is attributed
+        # evenly across the participating requests so the per-request
+        # histogram keeps measuring real work.
+        requests = list(batch)
+        readings = [fetch(r.tag_id) for r in requests]
+
+        primary: list[int] = []
+        deadline_first: list[int] = []
+        for i, (request, reading) in enumerate(zip(requests, readings)):
+            if reading is None:
+                continue
+            past = (
+                request.deadline_s is not None and now_s > request.deadline_s
+            )
+            (deadline_first if past else primary).append(i)
+
+        vire_outcomes: dict[int, Outcome] = {}
+        vire_share = 0.0
+        if primary:
+            t0 = self._perf_clock()
+            outs = self._sharded_outcomes(
+                self.vire.estimate_outcomes, [readings[i] for i in primary]
+            )
+            vire_share = (self._perf_clock() - t0) / len(primary)
+            vire_outcomes = dict(zip(primary, outs))
+
+        needs_fallback = deadline_first + [
+            i for i in primary
+            if isinstance(vire_outcomes[i], EstimationError)
+        ]
+        lm_outcomes: dict[int, Outcome] = {}
+        lm_share = 0.0
+        if needs_fallback:
+            t0 = self._perf_clock()
+            outs = self._sharded_outcomes(
+                self._batch_fallback.estimate_outcomes,
+                [readings[i] for i in needs_fallback],
+            )
+            lm_share = (self._perf_clock() - t0) / len(needs_fallback)
+            lm_outcomes = dict(zip(needs_fallback, outs))
+
         results = []
-        for request in batch:
-            result = self._serve_one(request, now_s, fetch)
+        for i, request in enumerate(requests):
+            share = (vire_share if i in vire_outcomes else 0.0) + (
+                lm_share if i in lm_outcomes else 0.0
+            )
+            result = self._serve_one(
+                request,
+                now_s,
+                readings[i],
+                vire_outcomes.get(i),
+                lm_outcomes.get(i),
+                share,
+            )
             if result is not None:
                 results.append(result)
         self._sync_cache_metrics()
         self._sync_frame_metrics()
         return results
+
+    def _sharded_outcomes(self, fn, readings: list) -> list[Outcome]:
+        """Run one engine pass, split into ``engine.shard_size`` shards.
+
+        Sharding only bounds the tensor size of each pass (memory
+        control); results are identical however the batch is split.
+        """
+        out: list[Outcome] = []
+        for shard in compute_shards(len(readings), self.config.engine):
+            out.extend(fn([readings[i] for i in shard]))
+        return out
 
     @staticmethod
     def _exclude_readers(
@@ -399,8 +484,20 @@ class ServicePipeline:
         self,
         request: LocalizationRequest,
         now_s: float,
-        fetch: Callable[[str], Any],
+        reading: Any,
+        vire_outcome: Outcome | None,
+        lm_outcome: Outcome | None,
+        batch_share_s: float = 0.0,
     ) -> ServiceResult | None:
+        """Assemble one answer from the precomputed batch outcomes.
+
+        The degradation ladder is decided here exactly as it was when the
+        estimators ran inline; the heavy passes simply happened earlier,
+        vectorized over the whole batch. ``vire_outcome``/``lm_outcome``
+        are the per-reading results (or the errors the scalar calls would
+        have raised); ``batch_share_s`` is this request's even share of
+        the batched passes' wall-clock, folded into its latency.
+        """
         t0 = self._perf_clock()
         estimator_name = self.vire.name
         degraded = False
@@ -411,7 +508,16 @@ class ServicePipeline:
         past_deadline = (
             request.deadline_s is not None and now_s > request.deadline_s
         )
-        reading = fetch(request.tag_id)
+
+        def consume(outcome: Outcome | None):
+            # An EstimationError means "this ladder level refused" (the
+            # scalar path caught exactly that); any other ReproError is a
+            # real fault the scalar path would have propagated.
+            if isinstance(outcome, EstimationError):
+                return None
+            if isinstance(outcome, ReproError):
+                raise outcome
+            return outcome
 
         if reading is None:
             position = self._last_estimate.get(request.tag_id)
@@ -426,10 +532,7 @@ class ServicePipeline:
                 return None
         elif past_deadline:
             # Too late for the expensive path: serve the cheap estimate.
-            try:
-                base = self.fallback.estimate(reading)
-            except EstimationError:
-                base = None
+            base = consume(lm_outcome)
             if base is None:
                 position = self._last_estimate.get(request.tag_id)
                 degraded, reason = True, "no_reading"
@@ -447,25 +550,22 @@ class ServicePipeline:
                 estimator_name = self.fallback.name
                 diagnostics = dict(base.diagnostics)
         else:
-            try:
-                # Ladder levels 1 and 2: full VIRE, or — for a masked
-                # snapshot — VIRE on the quorum-surviving reader subset.
-                est = self.vire.estimate(reading)
+            # Ladder levels 1 and 2: full VIRE, or — for a masked
+            # snapshot — VIRE on the quorum-surviving reader subset.
+            est = consume(vire_outcome)
+            if est is not None:
                 position = est.position
                 diagnostics = dict(est.diagnostics)
                 if reading.masked:
                     degraded, reason = True, "partial_readers"
-            except EstimationError:
+            else:
                 # Level 3: NaN-aware LANDMARC. "empty_intersection" on a
                 # healthy reading; "quorum_unmet" when the masked subset
                 # was too thin for VIRE.
                 fallback_reason = (
                     "quorum_unmet" if reading.masked else "empty_intersection"
                 )
-                try:
-                    base = self.fallback.estimate(reading)
-                except EstimationError:
-                    base = None
+                base = consume(lm_outcome)
                 if base is None:
                     # Level 4: not even LANDMARC can rank neighbours.
                     position = self._last_estimate.get(request.tag_id)
@@ -484,7 +584,7 @@ class ServicePipeline:
                     estimator_name = self.fallback.name
                     diagnostics = dict(base.diagnostics)
 
-        latency = self._perf_clock() - t0
+        latency = self._perf_clock() - t0 + batch_share_s
         self._h_latency.observe(latency)
         self._c_results.inc()
         if degraded:

@@ -1,0 +1,261 @@
+"""Regenerate the golden-trace fixtures under ``tests/golden/``.
+
+Usage (repo root)::
+
+    PYTHONPATH=src python -m tests.regen_golden
+
+The golden traces pin **byte-exact** outputs of the estimation pipeline
+— coordinates, thresholds and weight matrices are stored as IEEE-754
+hex strings / SHA-256 digests, so ``tests/test_golden_traces.py`` fails
+on a single-ULP drift in any of them. Three scenarios are traced:
+
+* ``paper_config.json`` — the paper's clean Env3 testbed, one frozen
+  trial, all nine Fig. 2(a) tracking tags, default
+  ``VIREConfig(target_total_tags=900)``;
+* ``masked_reading.json`` — the same readings with deterministic NaN
+  holes (degraded deployments): quorum trimming, hole imputation and
+  the relax fallback are all on the traced path;
+* ``chaos_preset.json`` — a short chaotic streaming session (moderate
+  fault preset) through the full service stack: middleware, breakers,
+  batch engine and the degradation ladder.
+
+Regenerate **only** when a numerical change is intentional, and say why
+in the commit message.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import VIREConfig
+from repro.core.elimination import eliminate
+from repro.core.estimator import VIREEstimator
+from repro.core.proximity import build_proximity_maps, rssi_deviations
+from repro.core.threshold import minimal_feasible_threshold
+from repro.core.weighting import combine_weights, compute_w1, compute_w2
+from repro.exceptions import ReproError
+from repro.experiments.measurement import TrialSampler
+from repro.experiments.scenarios import paper_scenario
+from repro.rf.environments import env3
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+PAPER_SEED = 0
+MASK_SEED = 2024
+CHAOS_SEED = 13
+CHAOS_DURATION_S = 8.0
+
+
+def _hex(value: float) -> str:
+    return float(value).hex()
+
+
+def paper_estimator() -> VIREEstimator:
+    scenario = paper_scenario(env3(), n_trials=1, base_seed=PAPER_SEED)
+    return VIREEstimator(scenario.grid, VIREConfig(target_total_tags=900))
+
+
+def paper_readings():
+    """The frozen trial-0 readings for all nine Fig. 2(a) tags."""
+    scenario = paper_scenario(env3(), n_trials=1, base_seed=PAPER_SEED)
+    sampler = TrialSampler(
+        scenario.environment,
+        scenario.grid,
+        seed=scenario.trial_seed(0),
+        measurement=scenario.measurement,
+    )
+    labels = list(scenario.tracking_tags)
+    positions = [scenario.tracking_tags[label] for label in labels]
+    readings = [sampler.reading_for(pos) for pos in positions]
+    return labels, positions, readings
+
+
+def masked_readings():
+    """The paper readings with deterministic NaN holes punched in.
+
+    Every third tag additionally loses one whole reader, which pushes
+    the reading through quorum trimming.
+    """
+    labels, positions, readings = paper_readings()
+    rng = np.random.default_rng(MASK_SEED)
+    masked = []
+    for i, reading in enumerate(readings):
+        ref = reading.reference_rssi.copy()
+        holes = rng.random(ref.shape) < (0.08 + 0.12 * (i % 3))
+        ref[holes] = np.nan
+        if i % 3 == 2:
+            ref[i % reading.n_readers] = np.nan  # one reader fully dark
+        masked.append(replace(reading, reference_rssi=ref, masked=True))
+    return labels, positions, masked
+
+
+def trace_weights(est: VIREEstimator, reading) -> tuple[str | None, dict]:
+    """SHA-256 of the normalized weight matrix plus step diagnostics.
+
+    Re-runs the scalar pipeline step by step (the exact code
+    ``estimate()`` uses) so the trace pins the *intermediate* weight
+    tensor, not only the final centroid. Returns ``(None, {})`` when the
+    reading takes the LANDMARC fallback (no weight matrix exists).
+    """
+    min_votes = est.config.min_votes
+    if reading.masked:
+        reading = est.quorum.apply(reading).reading
+        if min_votes is not None:
+            min_votes = min(min_votes, reading.n_readers)
+    virtual = est.interpolate_reading(reading)
+    deviations = rssi_deviations(virtual, reading.tracking_rssi)
+    threshold = est.select_threshold(deviations)
+    maps = build_proximity_maps(deviations, threshold)
+    selected = eliminate(maps, min_votes=min_votes)
+    if not selected.any():
+        if est.config.empty_fallback != "relax":
+            return None, {}
+        threshold = minimal_feasible_threshold(
+            deviations, min_cells=est.config.min_cells
+        )
+        maps = build_proximity_maps(deviations, threshold)
+        selected = eliminate(maps, min_votes=min_votes)
+    w1 = compute_w1(
+        deviations,
+        selected,
+        mode=est.config.w1_mode,
+        virtual_rssi=virtual if est.config.w1_mode == "paper-literal" else None,
+    )
+    w2 = (
+        compute_w2(selected, connectivity=est.config.connectivity)
+        if est.config.use_w2
+        else None
+    )
+    weights = combine_weights(w1, w2)
+    digest = hashlib.sha256(np.ascontiguousarray(weights).tobytes()).hexdigest()
+    return digest, {"weights_threshold_db_hex": _hex(threshold)}
+
+
+def _trace_entries(est: VIREEstimator, labels, positions, readings) -> list:
+    entries = []
+    for label, true_pos, reading in zip(labels, positions, readings):
+        entry: dict = {"label": int(label), "true_position": list(true_pos)}
+        try:
+            result = est.estimate(reading)
+        except ReproError as exc:
+            entry["error"] = type(exc).__name__
+            entry["message"] = str(exc)
+            entries.append(entry)
+            continue
+        diag = result.diagnostics
+        entry.update(
+            position_hex=[_hex(result.position[0]), _hex(result.position[1])],
+            threshold_db_hex=_hex(diag["threshold_db"]),
+            n_selected=int(diag["n_selected"]),
+            map_areas=[int(a) for a in diag.get("map_areas", [])]
+            if diag.get("map_areas") is not None
+            else None,
+            fallback=diag.get("fallback"),
+        )
+        digest, extra = trace_weights(est, reading)
+        entry["weights_sha256"] = digest
+        entry.update(extra)
+        entries.append(entry)
+    return entries
+
+
+def build_paper_trace() -> dict:
+    labels, positions, readings = paper_readings()
+    est = paper_estimator()
+    return {
+        "scenario": "paper-config: clean Env3, trial 0, "
+        "VIREConfig(target_total_tags=900)",
+        "seed": PAPER_SEED,
+        "tags": _trace_entries(est, labels, positions, readings),
+    }
+
+
+def build_masked_trace() -> dict:
+    labels, positions, readings = masked_readings()
+    est = paper_estimator()
+    return {
+        "scenario": "masked-reading: paper readings with deterministic NaN "
+        f"holes (mask seed {MASK_SEED}), quorum + imputation on the path",
+        "seed": PAPER_SEED,
+        "mask_seed": MASK_SEED,
+        "tags": _trace_entries(est, labels, positions, readings),
+    }
+
+
+def build_chaos_trace() -> dict:
+    """A short chaotic service session, positions pinned bit-exactly."""
+    import math  # noqa: F401  (kept for parity with fault tests)
+
+    from repro.faults import chaos_preset
+    from repro.hardware.deployment import build_paper_deployment
+    from repro.hardware.middleware import SmoothingSpec
+    from repro.service import LocalizationService, ServiceConfig
+
+    from tests.conftest import make_clean_environment
+
+    tracking = {"asset": (1.3, 1.7), "cart": (2.4, 0.9)}
+
+    class _Scenario:
+        name = "golden-chaos"
+        tracking_tags = tracking
+
+    class _Service(LocalizationService):
+        def build_deployment(self, scenario):  # noqa: ARG002 - fixed world
+            return build_paper_deployment(
+                make_clean_environment(),
+                tracking_tags={f"tag-{k}": p for k, p in tracking.items()},
+                seed=CHAOS_SEED,
+                smoothing=SmoothingSpec(max_age_s=6.0),
+            )
+
+    config = ServiceConfig(
+        query_interval_s=1.0,
+        stream_step_s=0.5,
+        request_deadline_s=None,
+        breaker_recovery_timeout_s=8.0,
+        vire=VIREConfig(subdivisions=5),
+    )
+    plan = chaos_preset("moderate", seed=CHAOS_SEED)
+    report = _Service(config).run(_Scenario(), CHAOS_DURATION_S, fault_plan=plan)
+    results = [
+        {
+            "tag_id": r.tag_id,
+            "position_hex": [_hex(r.position[0]), _hex(r.position[1])],
+            "estimator": r.estimator,
+            "degraded": bool(r.degraded),
+            "reason": r.reason,
+        }
+        for r in report.results
+    ]
+    return {
+        "scenario": "chaos-preset: moderate faults, clean-room paper "
+        f"deployment, {CHAOS_DURATION_S}s session (seed {CHAOS_SEED})",
+        "seed": CHAOS_SEED,
+        "duration_s": CHAOS_DURATION_S,
+        "results": results,
+    }
+
+
+BUILDERS = {
+    "paper_config.json": build_paper_trace,
+    "masked_reading.json": build_masked_trace,
+    "chaos_preset.json": build_chaos_trace,
+}
+
+
+def main() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, builder in BUILDERS.items():
+        path = GOLDEN_DIR / name
+        trace = builder()
+        path.write_text(json.dumps(trace, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

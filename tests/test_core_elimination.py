@@ -179,3 +179,37 @@ class TestAdaptiveSelector:
             AdaptiveThresholdSelector(step_db=0.0)
         with pytest.raises(ConfigurationError):
             AdaptiveThresholdSelector(min_cells=0)
+
+    def test_wide_range_does_not_exhaust_iterations(self):
+        """A huge max-to-minimal deviation span used to hit the
+        ``max_iterations`` cap at ``step_db`` granularity and return a
+        threshold far above the feasible minimum; the closed-form clamp
+        makes the descent O(1) in the range."""
+        dev = np.full((2, 5, 5), 0.5)
+        dev[0, 0, 0] = 50_000.0  # one pathological cell widens the start
+        dev[1, 0, 0] = 50_000.0
+        selector = AdaptiveThresholdSelector(step_db=0.05, min_cells=1)
+        closed = selector.closed_form(dev)
+        iterative = selector.iterative(dev)
+        assert iterative == pytest.approx(closed, abs=selector.step_db + 1e-9)
+        # Naive descent would have needed ~1e6 iterations (> the cap).
+        assert (50_000.0 - closed) / selector.step_db > selector.max_iterations
+
+    def test_iterative_matches_closed_form_on_masked_inputs(self):
+        """NaN (unknown) deviations: both procedures skip unknown cells
+        and still agree within one step."""
+        rng = np.random.default_rng(7)
+        dev = rng.uniform(0.0, 6.0, (3, 8, 8))
+        mask = rng.random((3, 8, 8)) < 0.2
+        dev[mask] = np.nan
+        selector = AdaptiveThresholdSelector(step_db=0.05, min_cells=2)
+        closed = selector.closed_form(dev)
+        iterative = selector.iterative(dev)
+        assert np.isfinite(iterative)
+        assert iterative == pytest.approx(closed, abs=selector.step_db + 1e-9)
+
+    def test_iterative_infeasible_masked_raises(self):
+        dev = np.full((2, 3, 3), np.nan)
+        selector = AdaptiveThresholdSelector()
+        with pytest.raises(ConfigurationError):
+            selector.iterative(dev)

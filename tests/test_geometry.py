@@ -76,6 +76,21 @@ class TestIntersection:
         s2 = Segment((0.5, 0.01), (0.5, 1))
         assert not segments_intersect(s1, s2)
 
+    def test_symmetry_near_degenerate_regression(self):
+        """Hypothesis-found counterexample: a ~1e-11-long segment used to
+        make ``segments_intersect`` asymmetric (the parallel/collinear
+        classification was measured against the first segment only)."""
+        tiny = Segment((8.407316335369382e-12, 0.0), (0.0, 0.0))
+        other = Segment((1.0, 0.0), (0.0, 0.0625))
+        assert segments_intersect(tiny, other) == segments_intersect(other, tiny)
+        assert not segments_intersect(tiny, other)
+
+    def test_point_like_segment_on_segment_intersects(self):
+        tiny = Segment((0.5, 1e-11), (0.5, 0.0))
+        base = Segment((0.0, 0.0), (1.0, 0.0))
+        assert segments_intersect(tiny, base)
+        assert segments_intersect(base, tiny)
+
     @given(coord, coord, coord, coord, coord, coord, coord, coord)
     def test_symmetry(self, ax, ay, bx, by, cx, cy, dx, dy):
         try:

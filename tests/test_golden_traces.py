@@ -1,0 +1,132 @@
+"""Golden-trace regression tests: byte-stable pipeline outputs.
+
+Every fixture under ``tests/golden/`` stores coordinates and thresholds
+as IEEE-754 hex strings and weight matrices as SHA-256 digests, so these
+tests fail on a *single ULP* of numerical drift anywhere in the
+estimation pipeline. The scalar path must reproduce each trace exactly,
+and the batch engine must reproduce the scalar path exactly — the
+engine's bitwise-identity contract, pinned to disk.
+
+Fixtures are regenerated (only on intentional numerical changes) with::
+
+    PYTHONPATH=src python -m tests.regen_golden
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ReproError
+
+from .regen_golden import (
+    BUILDERS,
+    GOLDEN_DIR,
+    build_chaos_trace,
+    build_masked_trace,
+    build_paper_trace,
+    masked_readings,
+    paper_estimator,
+    paper_readings,
+)
+
+
+def _load(name: str) -> dict:
+    path = GOLDEN_DIR / name
+    if not path.exists():  # pragma: no cover - repo always ships fixtures
+        pytest.fail(
+            f"golden fixture {name} missing; run "
+            "`PYTHONPATH=src python -m tests.regen_golden`"
+        )
+    return json.loads(path.read_text())
+
+
+class TestFixtureHygiene:
+    def test_every_builder_has_a_fixture(self):
+        for name in BUILDERS:
+            assert (GOLDEN_DIR / name).exists(), name
+
+    def test_fixtures_are_canonical_json(self):
+        """sort_keys + indent=2 + trailing newline — regen is the format."""
+        for name in BUILDERS:
+            raw = (GOLDEN_DIR / name).read_text()
+            parsed = json.loads(raw)
+            assert raw == json.dumps(parsed, indent=2, sort_keys=True) + "\n"
+
+
+class TestScalarMatchesGolden:
+    """The scalar pipeline reproduces every stored trace byte-for-byte."""
+
+    def test_paper_config(self):
+        assert build_paper_trace() == _load("paper_config.json")
+
+    def test_masked_reading(self):
+        assert build_masked_trace() == _load("masked_reading.json")
+
+    def test_chaos_preset(self):
+        assert build_chaos_trace() == _load("chaos_preset.json")
+
+
+def _batch_entries(est, readings):
+    outcomes = est.estimate_outcomes(readings)
+    out = []
+    for outcome in outcomes:
+        if isinstance(outcome, ReproError):
+            out.append((type(outcome).__name__, str(outcome)))
+        else:
+            d = outcome.diagnostics
+            out.append(
+                (
+                    float(outcome.position[0]).hex(),
+                    float(outcome.position[1]).hex(),
+                    float(d["threshold_db"]).hex(),
+                    int(d["n_selected"]),
+                    d.get("fallback"),
+                )
+            )
+    return out
+
+
+def _golden_entries(trace):
+    out = []
+    for tag in trace["tags"]:
+        if "error" in tag:
+            out.append((tag["error"], tag["message"]))
+        else:
+            out.append(
+                (
+                    tag["position_hex"][0],
+                    tag["position_hex"][1],
+                    tag["threshold_db_hex"],
+                    tag["n_selected"],
+                    tag["fallback"],
+                )
+            )
+    return out
+
+
+class TestBatchMatchesGolden:
+    """The batch engine reproduces the stored traces byte-for-byte too."""
+
+    def test_paper_config_batch(self):
+        _, _, readings = paper_readings()
+        est = paper_estimator()
+        assert _batch_entries(est, readings) == _golden_entries(
+            _load("paper_config.json")
+        )
+
+    def test_masked_reading_batch(self):
+        _, _, readings = masked_readings()
+        est = paper_estimator()
+        assert _batch_entries(est, readings) == _golden_entries(
+            _load("masked_reading.json")
+        )
+
+    def test_reversed_batch_order_is_irrelevant(self):
+        """Batch results are per-tag functions — input order cannot leak."""
+        _, _, readings = masked_readings()
+        est = paper_estimator()
+        forward = _batch_entries(est, readings)
+        backward = _batch_entries(est, list(reversed(readings)))
+        assert forward == list(reversed(backward))
