@@ -30,6 +30,8 @@ from .exceptions import (
     ReadingError,
     EstimationError,
     SimulationError,
+    SupervisionError,
+    CheckpointError,
 )
 from .geometry import (
     ReferenceGrid,
@@ -97,6 +99,16 @@ from .faults import (
     TagDeathFault,
     CalibrationDriftFault,
     DelayFault,
+    CrashPoint,
+    SimulatedCrash,
+)
+from .runtime import (
+    RuntimePolicy,
+    SupervisedPool,
+    supervised_map,
+    CheckpointWriter,
+    CheckpointState,
+    load_checkpoint,
 )
 from .tracking import (
     Trajectory,
@@ -141,6 +153,7 @@ __all__ = [
     # exceptions
     "ReproError", "ConfigurationError", "GeometryError", "ChannelError",
     "ReadingError", "EstimationError", "SimulationError",
+    "SupervisionError", "CheckpointError",
     # geometry
     "ReferenceGrid", "Room", "Wall", "rectangular_room",
     "paper_testbed_grid", "corner_reader_positions", "figure2a_tracking_tags",
@@ -166,6 +179,10 @@ __all__ = [
     "FaultPlan", "FaultInjector", "FaultEvent", "chaos_preset",
     "ReaderOutageFault", "BurstLossFault", "TagDeathFault",
     "CalibrationDriftFault", "DelayFault",
+    "CrashPoint", "SimulatedCrash",
+    # runtime (supervised execution + checkpoints)
+    "RuntimePolicy", "SupervisedPool", "supervised_map",
+    "CheckpointWriter", "CheckpointState", "load_checkpoint",
     # tracking (mobility)
     "Trajectory", "TagTracker", "KalmanFilter2D", "AlphaBetaFilter",
     "MovingAverageFilter", "NoFilter", "evaluate_track",

@@ -22,13 +22,26 @@ Commands
     ``--json`` the output is a deterministic JSON document: running the
     same command twice must print byte-identical JSON, which the CI
     chaos-smoke job asserts.
+
+Crash resilience (``docs/RUNTIME.md``): ``serve`` accepts
+``--checkpoint PATH`` (write-ahead JSONL checkpoint), ``--resume``
+(continue a checkpointed session after a crash) and ``--kill-at T``
+(simulate a hard kill at simulated time ``T``; exits with code 17 and
+no final snapshot). ``serve --json`` prints the session's deterministic
+witness document — the CI recovery-smoke job kills a seeded session,
+resumes it, and asserts the resumed witness is byte-identical to an
+uninterrupted run's. Both ``serve`` and ``chaos`` shut down gracefully
+on SIGINT/SIGTERM: the batcher drains, a final snapshot is flushed, and
+the metrics summary still prints.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import signal
 import sys
-from typing import Sequence
+from typing import Iterator, Sequence
 
 from . import __version__
 from .analysis import cdf_comparison, format_cdf_comparison, paired_bootstrap
@@ -116,6 +129,19 @@ def build_parser() -> argparse.ArgumentParser:
                      help="suppress the live per-result rows")
     srv.add_argument("--prometheus", action="store_true",
                      help="append the full Prometheus text exposition")
+    srv.add_argument("--checkpoint", default=None, metavar="PATH",
+                     help="write-ahead JSONL checkpoint file "
+                          "(see docs/RUNTIME.md)")
+    srv.add_argument("--resume", action="store_true",
+                     help="resume the session from --checkpoint "
+                          "(replays the seeded stream to the last "
+                          "snapshot, then continues live)")
+    srv.add_argument("--kill-at", type=float, default=None, metavar="T",
+                     help="simulate a hard kill at simulated time T "
+                          "(no drain, no final snapshot; exit code 17)")
+    srv.add_argument("--json", action="store_true",
+                     help="print the deterministic witness document "
+                          "(CI recovery smoke)")
 
     cha = sub.add_parser(
         "chaos", help="streaming service under an injected fault plan"
@@ -241,8 +267,37 @@ def _cmd_track(args) -> str:
     )
 
 
+@contextlib.contextmanager
+def _graceful_sigterm() -> Iterator[None]:
+    """Translate SIGTERM into :class:`KeyboardInterrupt` for the session.
+
+    :meth:`LocalizationService.run` treats ``KeyboardInterrupt`` as a
+    graceful shutdown (drain + final checkpoint snapshot + summary), so
+    routing SIGTERM through the same path makes ``kill <pid>`` as clean
+    as Ctrl-C. Restores the previous handler on exit; degrades to a
+    no-op off the main thread (signal handlers cannot be installed
+    there).
+    """
+
+    def _raise(signum, frame):  # pragma: no cover - exercised via signal
+        raise KeyboardInterrupt
+
+    try:
+        previous = signal.signal(signal.SIGTERM, _raise)
+    except ValueError:  # not the main thread: keep default behaviour
+        yield
+        return
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
 def _cmd_serve(args) -> str:
+    import json as _json
+
     from .experiments.scenarios import paper_scenario
+    from .faults import CrashPoint, SimulatedCrash
     from .service import LocalizationService, ServiceConfig
 
     config = ServiceConfig(
@@ -254,6 +309,9 @@ def _cmd_serve(args) -> str:
     )
     scenario = paper_scenario(args.env, n_trials=1, base_seed=args.seed)
     service = LocalizationService(config)
+    crash_point = None
+    if args.kill_at is not None:
+        crash_point = CrashPoint(at_s=args.kill_at)
 
     def live_row(result) -> None:
         flag = f" DEGRADED({result.reason})" if result.degraded else ""
@@ -263,11 +321,36 @@ def _cmd_serve(args) -> str:
             f"[{result.estimator}]{flag}"
         )
 
-    if not args.quiet:
+    quiet = args.quiet or args.json
+    if not quiet:
         print(f"serving {args.env} for {args.duration:g}s (seed {args.seed}):")
-    report = service.run(
-        scenario, args.duration, on_result=None if args.quiet else live_row
-    )
+    try:
+        with _graceful_sigterm():
+            report = service.run(
+                scenario,
+                args.duration,
+                on_result=None if quiet else live_row,
+                checkpoint_path=args.checkpoint,
+                resume=args.resume,
+                crash_point=crash_point,
+            )
+    except SimulatedCrash as crash:
+        print(
+            f"simulated crash: {crash}"
+            + (f" (checkpoint: {args.checkpoint})" if args.checkpoint else ""),
+            file=sys.stderr,
+        )
+        raise SystemExit(17) from crash
+
+    if args.json:
+        # Deterministic witness only: a resumed session must print
+        # byte-identical JSON to an uninterrupted one (CI recovery smoke).
+        doc = report.witness_document()
+        doc["env"] = args.env
+        doc["seed"] = args.seed
+        doc["duration_s"] = args.duration
+        return _json.dumps(doc, sort_keys=True, indent=2)
+
     s = report.summary
     lines = [
         "",
@@ -290,6 +373,21 @@ def _cmd_serve(args) -> str:
         f"  mean error           {report.mean_error_m:.3f} m "
         f"over {len(report.errors_m)} ground-truth results",
     ]
+    if "interrupted" in s:
+        lines.append("  shutdown             graceful (interrupted; "
+                     "batcher drained, final snapshot flushed)")
+    if "resumed" in s:
+        lines.append(
+            f"  resumed              yes "
+            f"({s['resume_results_restored']:.0f} results restored "
+            f"from checkpoint)"
+        )
+    if "checkpoint_snapshots" in s:
+        lines.append(
+            f"  checkpoint           {s['checkpoint_results_logged']:.0f} "
+            f"results logged, {s['checkpoint_snapshots']:.0f} snapshot(s) "
+            f"-> {args.checkpoint}"
+        )
     if args.prometheus:
         lines += ["", report.render_prometheus()]
     return "\n".join(lines)
@@ -316,9 +414,10 @@ def _cmd_chaos(args) -> str:
         allow_partial=not args.strict,
     )
     scenario = paper_scenario(args.env, n_trials=1, base_seed=args.seed)
-    report = LocalizationService(config).run(
-        scenario, args.duration, fault_plan=plan
-    )
+    with _graceful_sigterm():
+        report = LocalizationService(config).run(
+            scenario, args.duration, fault_plan=plan
+        )
     s = report.summary
     reasons: dict[str, int] = {}
     for result in report.results:

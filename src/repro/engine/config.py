@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from ..exceptions import ConfigurationError
+from ..runtime.policy import RuntimePolicy
 
 __all__ = ["EngineConfig"]
 
@@ -32,15 +33,30 @@ class EngineConfig:
         Snapshots (trials) per dispatched shard when ``n_jobs != 1``.
         ``None`` lets :func:`repro.utils.parallel.compute_chunksize`
         pick a size that amortizes IPC while keeping the pool balanced.
+    runtime:
+        Optional :class:`~repro.runtime.policy.RuntimePolicy`. With
+        ``supervised=True`` the process fan-out runs under
+        :class:`~repro.runtime.supervisor.SupervisedPool` (deadlines,
+        retries, pool respawn, serial fallback) — results stay bitwise
+        identical; only failure handling changes. ``None`` (default)
+        keeps the bare executor.
     """
 
     n_jobs: int | None = None
     shard_size: int | None = None
+    runtime: RuntimePolicy | None = None
 
     def __post_init__(self) -> None:
         if self.shard_size is not None and self.shard_size < 1:
             raise ConfigurationError(
                 f"shard_size must be >= 1 or None, got {self.shard_size}"
+            )
+        if self.runtime is not None and not isinstance(
+            self.runtime, RuntimePolicy
+        ):
+            raise ConfigurationError(
+                f"runtime must be a RuntimePolicy or None, "
+                f"got {type(self.runtime).__name__}"
             )
 
     def with_(self, **changes) -> "EngineConfig":

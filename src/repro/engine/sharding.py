@@ -35,6 +35,12 @@ def compute_shards(
     roughly four shards in flight per worker (serial runs get a single
     shard — no reason to split work nobody will overlap).
     """
+    if isinstance(n_items, bool) or not isinstance(n_items, int):
+        # bool passes a bare isinstance(…, int) check; reject explicitly
+        # (compute_shards(True) silently meaning "one item" hid bugs).
+        raise ConfigurationError(
+            f"n_items must be an integer (bool not allowed), got {n_items!r}"
+        )
     if n_items < 0:
         raise ConfigurationError(f"n_items must be >= 0, got {n_items}")
     if n_items == 0:
@@ -62,6 +68,13 @@ def map_shards(
     per index, in shard order. It must be picklable (module-level
     function or :func:`functools.partial` of one) when the config asks
     for more than one worker.
+
+    When ``config.runtime`` is a supervised
+    :class:`~repro.runtime.policy.RuntimePolicy`, the fan-out runs under
+    :class:`~repro.runtime.supervisor.SupervisedPool`: a worker that
+    dies or blows its deadline costs a retry (and ultimately a serial
+    in-process re-execution), never the sweep — and the recovered
+    results are bit-identical to a crash-free run.
     """
     config = config or EngineConfig()
     shards = compute_shards(n_items, config)
@@ -69,6 +82,12 @@ def map_shards(
     if jobs == 1 or len(shards) <= 1:
         return [item for shard in shards for item in fn(shard)]
     workers = min(jobs, len(shards))
+    policy = config.runtime
+    if policy is not None and policy.supervised:
+        from ..runtime.supervisor import supervised_map  # lazy import
+
+        nested = supervised_map(fn, shards, max_workers=workers, policy=policy)
+        return [item for chunk in nested for item in chunk]
     out: list[T] = []
     with ProcessPoolExecutor(max_workers=workers) as pool:
         for chunk in pool.map(fn, shards):

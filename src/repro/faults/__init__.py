@@ -36,6 +36,7 @@ from .models import (
 )
 from .plan import FaultPlan, chaos_preset
 from .injector import FaultEvent, FaultInjector
+from .crash import CrashPoint, SimulatedCrash
 
 __all__ = [
     "FaultModel",
@@ -48,4 +49,6 @@ __all__ = [
     "chaos_preset",
     "FaultEvent",
     "FaultInjector",
+    "CrashPoint",
+    "SimulatedCrash",
 ]

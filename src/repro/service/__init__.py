@@ -44,7 +44,12 @@ from .health import (
 from .ingest import BoundedRecordQueue, IngestionLoop
 from .batcher import Batch, LocalizationRequest, MicroBatcher
 from .pipeline import ServiceConfig, ServicePipeline, ServiceResult
-from .session import LocalizationService, SessionReport
+from .session import (
+    LocalizationService,
+    SessionReport,
+    result_from_doc,
+    result_to_doc,
+)
 
 __all__ = [
     "Counter",
@@ -69,4 +74,6 @@ __all__ = [
     "ServiceResult",
     "LocalizationService",
     "SessionReport",
+    "result_to_doc",
+    "result_from_doc",
 ]

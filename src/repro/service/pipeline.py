@@ -67,6 +67,8 @@ from ..exceptions import (
 )
 from ..geometry.grid import ReferenceGrid
 from ..hardware.middleware import MiddlewareServer
+from ..runtime.policy import RuntimePolicy
+from ..runtime.supervisor import run_shard_with_salvage
 from ..types import TrackingReading
 from .batcher import Batch, LocalizationRequest, MicroBatcher
 from .cache import InterpolationCache
@@ -126,6 +128,16 @@ class ServiceConfig:
         is ignored here because the in-process middleware and estimators
         are not picklable. Whatever the knobs, answers are bitwise
         identical to serving requests one by one.
+    runtime:
+        :class:`~repro.runtime.policy.RuntimePolicy` of the serving
+        path. With ``supervised=True`` each engine pass is *salvaged*:
+        an unexpected shard failure is retried item by item and the
+        items that still fail degrade through the ladder (an
+        :class:`~repro.exceptions.EstimationError` is a refusal, never
+        a crash of the whole batch). ``checkpoint_interval_s`` paces the
+        session's write-ahead snapshots when a checkpoint is attached.
+        The default policy is unsupervised — behaviour is bit-identical
+        to the pre-runtime service.
     """
 
     queue_capacity: int = 4096
@@ -147,8 +159,14 @@ class ServiceConfig:
     breaker_recovery_timeout_s: float = 10.0
     health_freshness_floor: float = 0.5
     engine: EngineConfig = field(default_factory=EngineConfig)
+    runtime: RuntimePolicy = field(default_factory=RuntimePolicy)
 
     def __post_init__(self) -> None:
+        if not isinstance(self.runtime, RuntimePolicy):
+            raise ConfigurationError(
+                f"runtime must be a RuntimePolicy, "
+                f"got {type(self.runtime).__name__}"
+            )
         if self.request_deadline_s is not None and self.request_deadline_s <= 0:
             raise ConfigurationError(
                 f"request_deadline_s must be positive or None, "
@@ -318,6 +336,7 @@ class ServicePipeline:
         )
         self._last_estimate: dict[str, tuple[float, float]] = {}
         self._results: list[ServiceResult] = []
+        self._replaying = False
 
     # -- request intake ------------------------------------------------------
 
@@ -358,6 +377,19 @@ class ServicePipeline:
         # several clients asking about one popular tag) share a single
         # snapshot assembly.
         self.ingest.deliver_pending()
+
+        if self._replaying:
+            # Checkpoint replay: drive exactly the *stateful inputs* a
+            # live batch would have driven — record delivery (queue
+            # drops, middleware series) and the health tracker (breaker
+            # transitions) — but skip estimation and serving; the served
+            # results up to the cut were restored from the checkpoint.
+            # Every input here is a pure function of the seeded stream,
+            # so the reconstructed state is bit-identical to the state
+            # of the crashed run at the snapshot cut.
+            self.health.observe(self.middleware.reader_freshness(now_s), now_s)
+            self.health.allowed_readers(now_s)
+            return []
 
         # Health first: with the middleware state frozen for the batch,
         # one freshness observation per batch drives the breakers, and
@@ -452,10 +484,33 @@ class ServicePipeline:
 
         Sharding only bounds the tensor size of each pass (memory
         control); results are identical however the batch is split.
+
+        Under a supervised :class:`~repro.runtime.policy.RuntimePolicy`
+        each shard is *salvaged*: an unexpected failure of the whole
+        shard is retried item by item in-process, and an item that still
+        fails is substituted with an :class:`EstimationError` — which the
+        degradation ladder treats as a per-request refusal. A bug (or
+        resource fault) in one estimator pass therefore degrades one
+        answer, never the batch.
         """
         out: list[Outcome] = []
+        supervised = self.config.runtime.supervised
         for shard in compute_shards(len(readings), self.config.engine):
-            out.extend(fn([readings[i] for i in shard]))
+            shard_readings = [readings[i] for i in shard]
+            if supervised:
+                out.extend(
+                    run_shard_with_salvage(
+                        fn,
+                        shard_readings,
+                        error_factory=lambda item, exc: EstimationError(
+                            f"engine pass failed: "
+                            f"{type(exc).__name__}: {exc}"
+                        ),
+                        metrics=self.metrics,
+                    )
+                )
+            else:
+                out.extend(fn(shard_readings))
         return out
 
     @staticmethod
@@ -651,6 +706,136 @@ class ServicePipeline:
             total_received - self._c_frames_received.value
         )
         self._c_frames_dropped.inc(total_dropped - self._c_frames_dropped.value)
+
+    # -- checkpoint / replay -------------------------------------------------
+
+    @property
+    def replaying(self) -> bool:
+        """Whether the pipeline is in checkpoint-replay mode."""
+        return self._replaying
+
+    def begin_replay(self) -> None:
+        """Enter replay mode: ingest + health run, estimation is skipped.
+
+        Used by session resume — ticks up to the checkpoint cut are
+        replayed so the queue, middleware, breakers, batcher and fault
+        counters converge to the crashed run's state, while the served
+        results (already restored from the write-ahead log) are not
+        recomputed.
+        """
+        self._replaying = True
+        log_event(self._logger, "replay_begin")
+
+    def end_replay(self) -> None:
+        """Leave replay mode; subsequent batches estimate and serve."""
+        self._replaying = False
+        log_event(self._logger, "replay_end")
+
+    def checkpoint_state(self) -> dict[str, Any]:
+        """The pipeline state that must survive a crash.
+
+        Only state *mutated by serving* is captured: the last-known
+        estimates (level-4 ladder memory) and the serving counters.
+        Everything else — queue contents, middleware series, breaker
+        states, batcher counters, cache statistics — is a deterministic
+        function of the seeded stream and is reconstructed by replay;
+        the breaker states are still recorded so resume can *verify* the
+        reconstruction (:meth:`verify_replay`).
+        """
+        return {
+            "last_estimate": {
+                tag: [float(p[0]), float(p[1])]
+                for tag, p in sorted(self._last_estimate.items())
+            },
+            "counters": {
+                "requests": self._c_requests.value,
+                "results": self._c_results.value,
+                "degraded": self._c_degraded.value,
+                "failed": self._c_failed.value,
+                **{
+                    f"degraded_{reason}": counter.value
+                    for reason, counter in self._c_degraded_reason.items()
+                },
+            },
+            "breakers": {
+                rid: {
+                    "state": b.state,
+                    "consecutive_failures": b.consecutive_failures,
+                    "opened_at_s": b.opened_at_s,
+                    "transitions": b.transitions,
+                }
+                for rid, b in sorted(self.health.breakers.items())
+            },
+        }
+
+    def restore_checkpoint_state(
+        self,
+        state: Mapping[str, Any],
+        results: list[ServiceResult],
+    ) -> None:
+        """Restore the serving-side state from a checkpoint.
+
+        ``results`` is the committed result log (decoded from the WAL);
+        the counters restored here are exactly the ones ``_serve_one``
+        increments. Counters owned by replayed components (requests,
+        frames, batcher, queue, cache, faults) are **not** touched —
+        replay reconstructs them, and force-setting the cache counters
+        would fight :meth:`_sync_cache_metrics`'s delta mirroring.
+        """
+        self._results = list(results)
+        self._last_estimate = {
+            str(tag): (float(pos[0]), float(pos[1]))
+            for tag, pos in state.get("last_estimate", {}).items()
+        }
+        counters = state.get("counters", {})
+        self._c_results.inc(float(counters.get("results", 0)))
+        self._c_degraded.inc(float(counters.get("degraded", 0)))
+        self._c_failed.inc(float(counters.get("failed", 0)))
+        for reason, counter in self._c_degraded_reason.items():
+            counter.inc(float(counters.get(f"degraded_{reason}", 0)))
+        log_event(
+            self._logger, "checkpoint_restored",
+            results=len(results),
+            last_estimates=len(self._last_estimate),
+        )
+
+    def verify_replay(self, state: Mapping[str, Any]) -> None:
+        """Check the replay-reconstructed state against the snapshot.
+
+        Raises :class:`~repro.exceptions.CheckpointError` when the
+        breaker states or the request counter reconstructed by replay
+        disagree with what the crashed run checkpointed — the
+        determinism contract of resume would be void.
+        """
+        from ..exceptions import CheckpointError
+
+        expected = state.get("breakers", {})
+        for rid, snap in expected.items():
+            breaker = self.health.breakers.get(rid)
+            if breaker is None:
+                raise CheckpointError(
+                    f"checkpointed breaker for unknown reader {rid!r}"
+                )
+            got = {
+                "state": breaker.state,
+                "consecutive_failures": breaker.consecutive_failures,
+                "opened_at_s": breaker.opened_at_s,
+                "transitions": breaker.transitions,
+            }
+            if got != dict(snap):
+                raise CheckpointError(
+                    f"replay diverged for reader {rid!r}: "
+                    f"reconstructed {got}, checkpoint {dict(snap)}"
+                )
+        counters = state.get("counters", {})
+        if "requests" in counters:
+            got_requests = self._c_requests.value
+            if got_requests != float(counters["requests"]):
+                raise CheckpointError(
+                    f"replay diverged on requests counter: reconstructed "
+                    f"{got_requests}, checkpoint {counters['requests']}"
+                )
+        log_event(self._logger, "replay_verified")
 
     # -- reporting -----------------------------------------------------------
 

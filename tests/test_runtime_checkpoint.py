@@ -1,0 +1,173 @@
+"""Tests for repro.runtime.checkpoint: the JSONL write-ahead log."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CheckpointError
+from repro.runtime import CheckpointWriter, load_checkpoint
+from repro.runtime.checkpoint import FORMAT_VERSION, jsonable
+
+
+def _write_minimal(path, n_results=3, t=10.0):
+    with CheckpointWriter(path) as w:
+        w.write_header(scenario="Env1", seed=0)
+        for i in range(n_results):
+            w.append_result(i, {"tag_id": f"tag-{i}", "value": float(i)})
+        w.write_snapshot(t=t, results_count=n_results, state={"x": 1})
+    return path
+
+
+class TestJsonable:
+    def test_numpy_scalars_and_arrays(self):
+        assert jsonable(np.float64(1.5)) == 1.5
+        assert jsonable(np.int32(3)) == 3
+        assert jsonable(np.array([1.0, 2.0])) == [1.0, 2.0]
+
+    def test_nested_structures(self):
+        doc = {"a": (1, np.float64(2.0)), "b": {"c": np.array([3])}}
+        assert jsonable(doc) == {"a": [1, 2.0], "b": {"c": [3]}}
+
+    def test_sets_become_sorted_lists(self):
+        assert jsonable({3, 1, 2}) == [1, 2, 3]
+
+    def test_exotic_values_fall_back_to_str(self):
+        class Exotic:
+            def __repr__(self):
+                return "<exotic>"
+
+        assert jsonable(Exotic()) == "<exotic>"
+
+    def test_json_float_roundtrip_is_exact(self):
+        value = 0.1 + 0.2  # classic non-representable sum
+        assert json.loads(json.dumps(jsonable(value))) == value
+
+
+class TestWriterAndLoader:
+    def test_roundtrip(self, tmp_path):
+        path = _write_minimal(tmp_path / "c.ckpt")
+        state = load_checkpoint(path)
+        assert state.header["scenario"] == "Env1"
+        assert state.header["version"] == FORMAT_VERSION
+        assert state.t_cut == 10.0
+        assert len(state.results) == 3
+        assert state.results[1]["tag_id"] == "tag-1"
+        assert state.snapshot["state"] == {"x": 1}
+
+    def test_every_line_is_valid_json(self, tmp_path):
+        path = _write_minimal(tmp_path / "c.ckpt")
+        for line in path.read_text().splitlines():
+            json.loads(line)  # must not raise
+
+    def test_truncated_tail_tolerated(self, tmp_path):
+        path = _write_minimal(tmp_path / "c.ckpt")
+        with open(path, "a") as fh:
+            fh.write('{"type": "result", "i": 99, "tag')  # mid-write crash
+        state = load_checkpoint(path)
+        assert len(state.results) == 3  # the torn line is ignored
+
+    def test_trailing_results_past_snapshot_discarded(self, tmp_path):
+        path = _write_minimal(tmp_path / "c.ckpt")
+        with CheckpointWriter(path, append=True) as w:
+            w.append_result(3, {"tag_id": "tag-3"})  # never committed
+        state = load_checkpoint(path)
+        assert len(state.results) == 3
+
+    def test_duplicate_result_index_keeps_latest(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        with CheckpointWriter(path) as w:
+            w.write_header()
+            w.append_result(0, {"value": "old"})
+            w.append_result(0, {"value": "new"})
+            w.write_snapshot(t=1.0, results_count=1)
+        assert load_checkpoint(path).results[0]["value"] == "new"
+
+    def test_last_snapshot_wins(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        with CheckpointWriter(path) as w:
+            w.write_header()
+            w.append_result(0, {"v": 1})
+            w.write_snapshot(t=1.0, results_count=1)
+            w.append_result(1, {"v": 2})
+            w.write_snapshot(t=2.0, results_count=2)
+        state = load_checkpoint(path)
+        assert state.t_cut == 2.0
+        assert len(state.results) == 2
+
+    def test_markers_are_skipped_by_loader(self, tmp_path):
+        path = _write_minimal(tmp_path / "c.ckpt")
+        with CheckpointWriter(path, append=True) as w:
+            w.write_marker("resume", t_cut=10.0)
+            w.write_marker("end", t=12.0)
+        assert load_checkpoint(path).t_cut == 10.0
+
+    def test_marker_kind_validated(self, tmp_path):
+        with CheckpointWriter(tmp_path / "c.ckpt") as w:
+            with pytest.raises(CheckpointError):
+                w.write_marker("snapshot")
+
+    def test_closed_writer_refuses_writes(self, tmp_path):
+        w = CheckpointWriter(tmp_path / "c.ckpt")
+        w.close()
+        assert w.closed
+        with pytest.raises(CheckpointError):
+            w.write_header()
+        w.close()  # idempotent
+
+    def test_counters(self, tmp_path):
+        with CheckpointWriter(tmp_path / "c.ckpt") as w:
+            w.write_header()
+            w.append_result(0, {})
+            w.append_result(1, {})
+            w.write_snapshot(t=1.0, results_count=2)
+            assert w.results_logged == 2
+            assert w.snapshots_written == 1
+
+
+class TestLoaderErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_checkpoint(tmp_path / "absent.ckpt")
+
+    def test_no_header(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        path.write_text('{"type": "snapshot", "t": 1.0, "results_count": 0}\n')
+        with pytest.raises(CheckpointError, match="no header"):
+            load_checkpoint(path)
+
+    def test_version_mismatch(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        path.write_text(
+            '{"type": "header", "version": 999}\n'
+            '{"type": "snapshot", "t": 1.0, "results_count": 0}\n'
+        )
+        with pytest.raises(CheckpointError, match="version"):
+            load_checkpoint(path)
+
+    def test_no_snapshot(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        with CheckpointWriter(path) as w:
+            w.write_header()
+            w.append_result(0, {})
+        with pytest.raises(CheckpointError, match="no complete snapshot"):
+            load_checkpoint(path)
+
+    def test_snapshot_commits_unlogged_results(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        with CheckpointWriter(path) as w:
+            w.write_header()
+            w.write_snapshot(t=1.0, results_count=5)
+        with pytest.raises(CheckpointError, match="never logged"):
+            load_checkpoint(path)
+
+
+class TestFsync:
+    def test_fsync_snapshot_smoke(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        with CheckpointWriter(path, fsync=True) as w:
+            w.write_header()
+            w.write_snapshot(t=1.0, results_count=0)
+        assert load_checkpoint(path).t_cut == 1.0
