@@ -22,6 +22,21 @@ Commands
     ``--json`` the output is a deterministic JSON document: running the
     same command twice must print byte-identical JSON, which the CI
     chaos-smoke job asserts.
+``trace``
+    Deterministic span tracing (``docs/OBSERVABILITY.md``):
+    ``trace record`` runs a seeded serve session with the tracer
+    enabled and streams the span forest to a JSONL trace file;
+    ``trace summary`` prints the per-stage latency table (top-N by self
+    time, p50/p95/p99) and the degradation-ladder breakdown;
+    ``trace canon`` prints the canonical *logical* JSON (wall times
+    stripped — the byte-identity artifact of the CI trace-smoke job);
+    ``trace diff`` compares two traces and exits 1 when their logical
+    content diverges.
+
+Errors of the :class:`~repro.exceptions.ReproError` family (bad paths,
+invalid configuration, refused resumes) print one ``error: ...`` line on
+stderr and exit with code 2 — the same code argparse uses for usage
+errors — instead of a traceback.
 
 Crash resilience (``docs/RUNTIME.md``): ``serve`` accepts
 ``--checkpoint PATH`` (write-ahead JSONL checkpoint), ``--resume``
@@ -53,6 +68,7 @@ from .baselines import (
 )
 from .core.config import VIREConfig
 from .core.estimator import VIREEstimator
+from .exceptions import ConfigurationError, ReproError
 from .experiments import figures
 from .experiments.runner import run_scenario
 from .experiments.scenarios import paper_scenario
@@ -169,6 +185,45 @@ def build_parser() -> argparse.ArgumentParser:
                      help="disable partial snapshots (pre-faults behaviour)")
     cha.add_argument("--json", action="store_true",
                      help="print a deterministic JSON summary (CI smoke)")
+
+    trc = sub.add_parser(
+        "trace", help="record, summarize and diff deterministic span traces"
+    )
+    tsub = trc.add_subparsers(dest="trace_command", required=True)
+    trec = tsub.add_parser(
+        "record", help="record a seeded serve session with tracing enabled"
+    )
+    trec.add_argument("--env", default="Env1",
+                      choices=["Env1", "Env2", "Env3"])
+    trec.add_argument("--duration", type=float, default=8.0,
+                      help="streamed session length in simulated seconds")
+    trec.add_argument("--seed", type=int, default=0)
+    trec.add_argument("--query-interval", type=float, default=1.0,
+                      help="per-tag localization query period")
+    trec.add_argument("--out", required=True, metavar="PATH",
+                      help="JSONL trace file to write")
+    tsum = tsub.add_parser(
+        "summary", help="per-stage latency table and ladder breakdown"
+    )
+    tsum.add_argument("path", help="trace file (from `trace record`)")
+    tsum.add_argument("--top", type=int, default=10,
+                      help="stages to list, ranked by self time")
+    tcan = tsub.add_parser(
+        "canon",
+        help="print the canonical logical JSON (wall times stripped; "
+             "byte-identical across seeded reruns)",
+    )
+    tcan.add_argument("path", help="trace file (from `trace record`)")
+    tdif = tsub.add_parser(
+        "diff", help="compare two traces; exit 1 when they diverge"
+    )
+    tdif.add_argument("a", help="first trace file")
+    tdif.add_argument("b", help="second trace file")
+    tdif.add_argument("--wall", action="store_true",
+                      help="also compare wall-clock fields "
+                           "(only meaningful for identical recordings)")
+    tdif.add_argument("--max-diffs", type=int, default=10,
+                      help="stop after this many reported divergences")
 
     hm = sub.add_parser("heatmap", help="spatial error map of an estimator")
     hm.add_argument("--env", default="Env3", choices=["Env1", "Env2", "Env3"])
@@ -321,6 +376,13 @@ def _cmd_serve(args) -> str:
             f"[{result.estimator}]{flag}"
         )
 
+    if args.resume and args.checkpoint is None:
+        raise ConfigurationError("--resume requires --checkpoint PATH")
+    if args.resume and args.kill_at is not None:
+        raise ConfigurationError(
+            "--resume and --kill-at conflict: --resume continues a crashed "
+            "session; to crash it again, run a separate serve with --kill-at"
+        )
     quiet = args.quiet or args.json
     if not quiet:
         print(f"serving {args.env} for {args.duration:g}s (seed {args.seed}):")
@@ -476,6 +538,59 @@ def _cmd_chaos(args) -> str:
     return "\n".join(lines)
 
 
+def _cmd_trace(args) -> str | tuple[str, int]:
+    from .obs import (
+        TraceWriter,
+        Tracer,
+        canonical_logical_json,
+        diff_documents,
+        format_summary,
+        read_trace,
+    )
+
+    if args.trace_command == "record":
+        from .experiments.scenarios import paper_scenario
+        from .service import LocalizationService, ServiceConfig
+
+        config = ServiceConfig(query_interval_s=args.query_interval)
+        scenario = paper_scenario(args.env, n_trials=1, base_seed=args.seed)
+        with TraceWriter(
+            args.out,
+            meta={
+                "env": args.env,
+                "seed": args.seed,
+                "duration_s": args.duration,
+            },
+        ) as writer:
+            tracer = Tracer(sink=writer.sink)
+            report = LocalizationService(config).run(
+                scenario, args.duration, tracer=tracer
+            )
+        return (
+            f"recorded {writer.spans_written} root spans "
+            f"({tracer.spans_recorded} spans total) over "
+            f"{len(report.results)} served results -> {args.out}"
+        )
+    if args.trace_command == "summary":
+        header, docs = read_trace(args.path)
+        return format_summary(header, docs, top=args.top)
+    if args.trace_command == "canon":
+        _, docs = read_trace(args.path)
+        return canonical_logical_json(docs)
+    # diff
+    _, docs_a = read_trace(args.a)
+    _, docs_b = read_trace(args.b)
+    diffs = diff_documents(
+        docs_a, docs_b, logical=not args.wall, max_diffs=args.max_diffs
+    )
+    if not diffs:
+        view = "full" if args.wall else "logical"
+        return f"traces agree ({len(docs_a)} root spans, {view} view)"
+    lines = [f"traces diverge ({len(diffs)} difference(s) shown):"]
+    lines += [f"  {d}" for d in diffs]
+    return "\n".join(lines), 1
+
+
 def _cmd_heatmap(args) -> str:
     from .analysis import format_heatmap, spatial_error_map
     from .core.soft import SoftVIREEstimator
@@ -507,15 +622,29 @@ _COMMANDS = {
     "track": _cmd_track,
     "serve": _cmd_serve,
     "chaos": _cmd_chaos,
+    "trace": _cmd_trace,
     "heatmap": _cmd_heatmap,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Handlers return either a string (printed, exit 0) or a
+    ``(text, code)`` pair (``trace diff`` exits 1 on divergence).
+    :class:`~repro.exceptions.ReproError` becomes one ``error:`` line on
+    stderr and exit code 2; :class:`SystemExit` (argparse usage errors,
+    ``serve --kill-at``'s code 17) propagates unchanged.
+    """
     args = build_parser().parse_args(argv)
-    print(_COMMANDS[args.command](args))
-    return 0
+    try:
+        out = _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    text, code = out if isinstance(out, tuple) else (out, 0)
+    print(text)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

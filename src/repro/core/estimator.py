@@ -16,6 +16,7 @@ import numpy as np
 from ..baselines.landmarc import LandmarcEstimator
 from ..exceptions import EstimationError, ReadingError
 from ..geometry.grid import ReferenceGrid
+from ..obs import current_tracer
 from ..types import EstimateResult, TrackingReading
 from .config import VIREConfig
 from .elimination import eliminate
@@ -170,85 +171,117 @@ class VIREEstimator:
     # -- the estimate --------------------------------------------------------
 
     def estimate(self, reading: TrackingReading) -> EstimateResult:
-        decision: QuorumDecision | None = None
-        min_votes = self.config.min_votes
-        if reading.masked:
-            # Degraded input: enforce the quorum, trim to survivors.
-            # Raises EstimationError when too few readers remain — the
-            # service layer catches that and falls down its ladder.
-            decision = self.quorum.apply(reading)
-            reading = decision.reading
-            # A surviving subset may have fewer readers than an explicit
-            # vote count; intersecting over all survivors is the honest
-            # maximum evidence available. (None already means "all
-            # readers" and adapts to the subset by itself.)
-            if min_votes is not None:
-                min_votes = min(min_votes, reading.n_readers)
-        quorum_diag = decision.diagnostics() if decision is not None else {}
+        tracer = current_tracer()
+        with tracer.span(
+            "vire.estimate",
+            tag=reading.tag_id,
+            masked=bool(reading.masked),
+        ) as root:
+            decision: QuorumDecision | None = None
+            min_votes = self.config.min_votes
+            if reading.masked:
+                # Degraded input: enforce the quorum, trim to survivors.
+                # Raises EstimationError when too few readers remain — the
+                # service layer catches that and falls down its ladder.
+                with tracer.span("vire.quorum") as qsp:
+                    decision = self.quorum.apply(reading)
+                    reading = decision.reading
+                    qsp.set("readers", reading.n_readers)
+                # A surviving subset may have fewer readers than an explicit
+                # vote count; intersecting over all survivors is the honest
+                # maximum evidence available. (None already means "all
+                # readers" and adapts to the subset by itself.)
+                if min_votes is not None:
+                    min_votes = min(min_votes, reading.n_readers)
+            quorum_diag = decision.diagnostics() if decision is not None else {}
 
-        virtual = self.interpolate_reading(reading)
-        deviations = rssi_deviations(virtual, reading.tracking_rssi)
-        threshold = self.select_threshold(deviations)
-        maps = build_proximity_maps(deviations, threshold)
-        selected = eliminate(maps, min_votes=min_votes)
+            with tracer.span("vire.interpolate", readers=reading.n_readers):
+                virtual = self.interpolate_reading(reading)
+            with tracer.span(
+                "vire.threshold", mode=self.config.threshold_mode
+            ) as tsp:
+                deviations = rssi_deviations(virtual, reading.tracking_rssi)
+                threshold = self.select_threshold(deviations)
+                tsp.set("threshold_db", float(threshold))
+            with tracer.span("vire.eliminate") as esp:
+                maps = build_proximity_maps(deviations, threshold)
+                selected = eliminate(maps, min_votes=min_votes)
 
-        fallback_used = None
-        if not selected.any():
-            if self.config.empty_fallback == "error":
-                raise EstimationError(
-                    f"elimination left no candidate regions at threshold "
-                    f"{threshold:.3f} dB"
+                fallback_used = None
+                if not selected.any():
+                    esp.set("empty_intersection", True)
+                    if self.config.empty_fallback == "error":
+                        raise EstimationError(
+                            f"elimination left no candidate regions at "
+                            f"threshold {threshold:.3f} dB"
+                        )
+                    if self.config.empty_fallback == "landmarc":
+                        esp.set("fallback", "landmarc")
+                        base = self._fallback_landmarc.estimate(reading)
+                        root.update(fallback="landmarc", n_selected=0)
+                        return EstimateResult(
+                            position=base.position,
+                            estimator=self.name,
+                            diagnostics={
+                                "fallback": "landmarc",
+                                "threshold_db": threshold,
+                                "n_selected": 0,
+                                **quorum_diag,
+                            },
+                        )
+                    # "relax": locally raise the threshold to the minimal
+                    # feasible value for this reading (always non-empty by
+                    # construction).
+                    fallback_used = "relax"
+                    esp.set("fallback", "relax")
+                    threshold = minimal_feasible_threshold(
+                        deviations, min_cells=self.config.min_cells
+                    )
+                    maps = build_proximity_maps(deviations, threshold)
+                    selected = eliminate(maps, min_votes=min_votes)
+                esp.set("n_selected", int(selected.sum()))
+
+            with tracer.span(
+                "vire.weighting", w1_mode=self.config.w1_mode,
+                use_w2=self.config.use_w2,
+            ):
+                w1 = compute_w1(
+                    deviations,
+                    selected,
+                    mode=self.config.w1_mode,
+                    virtual_rssi=(
+                        virtual if self.config.w1_mode == "paper-literal"
+                        else None
+                    ),
                 )
-            if self.config.empty_fallback == "landmarc":
-                base = self._fallback_landmarc.estimate(reading)
-                return EstimateResult(
-                    position=base.position,
-                    estimator=self.name,
-                    diagnostics={
-                        "fallback": "landmarc",
-                        "threshold_db": threshold,
-                        "n_selected": 0,
-                        **quorum_diag,
-                    },
+                w2 = (
+                    compute_w2(selected, connectivity=self.config.connectivity)
+                    if self.config.use_w2
+                    else None
                 )
-            # "relax": locally raise the threshold to the minimal feasible
-            # value for this reading (always non-empty by construction).
-            fallback_used = "relax"
-            threshold = minimal_feasible_threshold(
-                deviations, min_cells=self.config.min_cells
+                weights = combine_weights(w1, w2)
+                xy = weights.ravel() @ self._positions
+
+            n_selected = int(selected.sum())
+            root.update(
+                threshold_db=float(threshold),
+                n_selected=n_selected,
+                fallback=fallback_used,
             )
-            maps = build_proximity_maps(deviations, threshold)
-            selected = eliminate(maps, min_votes=min_votes)
-
-        w1 = compute_w1(
-            deviations,
-            selected,
-            mode=self.config.w1_mode,
-            virtual_rssi=virtual if self.config.w1_mode == "paper-literal" else None,
-        )
-        w2 = (
-            compute_w2(selected, connectivity=self.config.connectivity)
-            if self.config.use_w2
-            else None
-        )
-        weights = combine_weights(w1, w2)
-        xy = weights.ravel() @ self._positions
-
-        n_selected = int(selected.sum())
-        return EstimateResult(
-            position=(float(xy[0]), float(xy[1])),
-            estimator=self.name,
-            diagnostics={
-                "threshold_db": float(threshold),
-                "threshold_mode": self.config.threshold_mode,
-                "n_selected": n_selected,
-                "selected_fraction": n_selected / selected.size,
-                "map_areas": [m.area for m in maps],
-                "fallback": fallback_used,
-                "total_virtual_tags": self.virtual_grid.total_tags,
-                **quorum_diag,
-            },
-        )
+            return EstimateResult(
+                position=(float(xy[0]), float(xy[1])),
+                estimator=self.name,
+                diagnostics={
+                    "threshold_db": float(threshold),
+                    "threshold_mode": self.config.threshold_mode,
+                    "n_selected": n_selected,
+                    "selected_fraction": n_selected / selected.size,
+                    "map_areas": [m.area for m in maps],
+                    "fallback": fallback_used,
+                    "total_virtual_tags": self.virtual_grid.total_tags,
+                    **quorum_diag,
+                },
+            )
 
     # -- batched estimation ---------------------------------------------------
 

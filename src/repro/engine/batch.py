@@ -30,6 +30,7 @@ import numpy as np
 from ..baselines.landmarc import LandmarcEstimator
 from ..core.interpolation import fill_masked_lattice
 from ..exceptions import ConfigurationError, EstimationError, ReproError
+from ..obs import current_tracer
 from ..types import EstimateResult, TrackingReading
 from . import kernels
 
@@ -87,59 +88,76 @@ class BatchEngine:
         readings = list(readings)
         outcomes: list[Outcome] = [None] * len(readings)  # type: ignore[list-item]
         est = self.estimator
+        tracer = current_tracer()
 
-        # Stage 1 (per reading, cheap): quorum + layout checks, exactly
-        # in the scalar estimate() order. The layout check is a pure
-        # function of the reading's reference-position array, so one
-        # verdict per distinct array serves the whole batch — T tags on
-        # one snapshot pay for a single ``allclose`` instead of T.
-        layout_memo: dict[tuple, ReproError | None] = {}
-        prepared: list[tuple[int, TrackingReading, int | None, dict]] = []
-        for idx, reading in enumerate(readings):
-            try:
-                min_votes = est.config.min_votes
-                quorum_diag: dict = {}
-                if reading.masked:
-                    decision = est.quorum.apply(reading)
-                    reading = decision.reading
-                    if min_votes is not None:
-                        min_votes = min(min_votes, reading.n_readers)
-                    quorum_diag = decision.diagnostics()
-                self._check_layout(reading, layout_memo)
-                prepared.append((idx, reading, min_votes, quorum_diag))
-            except ReproError as exc:
-                outcomes[idx] = exc
+        with tracer.span("engine.batch", n_readings=len(readings)) as root:
+            # Stage 1 (per reading, cheap): quorum + layout checks, exactly
+            # in the scalar estimate() order. The layout check is a pure
+            # function of the reading's reference-position array, so one
+            # verdict per distinct array serves the whole batch — T tags on
+            # one snapshot pay for a single ``allclose`` instead of T.
+            layout_memo: dict[tuple, ReproError | None] = {}
+            prepared: list[tuple[int, TrackingReading, int | None, dict]] = []
+            with tracer.span("engine.prepare") as psp:
+                for idx, reading in enumerate(readings):
+                    try:
+                        min_votes = est.config.min_votes
+                        quorum_diag: dict = {}
+                        if reading.masked:
+                            decision = est.quorum.apply(reading)
+                            reading = decision.reading
+                            if min_votes is not None:
+                                min_votes = min(min_votes, reading.n_readers)
+                            quorum_diag = decision.diagnostics()
+                        self._check_layout(reading, layout_memo)
+                        prepared.append((idx, reading, min_votes, quorum_diag))
+                    except ReproError as exc:
+                        outcomes[idx] = exc
+                psp.set("prepared", len(prepared))
+                psp.set("rejected", len(readings) - len(prepared))
 
-        # Stage 2: shared interpolation (memoized per unique lattice).
-        # When the estimator has no injected cache (so no observable call
-        # sequence to preserve), readings that share the *same* reference
-        # array object — T tags against one middleware snapshot — skip
-        # even the per-reader lattice reconstruction: one (K, rows, cols)
-        # surface tensor serves them all. The readings list keeps every
-        # reading alive for the duration, so id()-keyed memoing is sound.
-        surface_memo: dict[bytes, np.ndarray] = {}
-        reading_memo: dict[tuple[int, bool], np.ndarray] = {}
-        dedup_readings = est.interpolation_cache is None
-        ready: list[tuple[int, TrackingReading, int | None, dict, np.ndarray]] = []
-        for idx, reading, min_votes, quorum_diag in prepared:
-            try:
-                key = (id(reading.reference_rssi), reading.masked)
-                if dedup_readings and key in reading_memo:
-                    virtual = reading_memo[key]
-                else:
-                    virtual = self._interpolate(reading, surface_memo)
-                    if dedup_readings:
-                        reading_memo[key] = virtual
-                ready.append((idx, reading, min_votes, quorum_diag, virtual))
-            except ReproError as exc:
-                outcomes[idx] = exc
+            # Stage 2: shared interpolation (memoized per unique lattice).
+            # When the estimator has no injected cache (so no observable call
+            # sequence to preserve), readings that share the *same* reference
+            # array object — T tags against one middleware snapshot — skip
+            # even the per-reader lattice reconstruction: one (K, rows, cols)
+            # surface tensor serves them all. The readings list keeps every
+            # reading alive for the duration, so id()-keyed memoing is sound.
+            surface_memo: dict[bytes, np.ndarray] = {}
+            reading_memo: dict[tuple[int, bool], np.ndarray] = {}
+            dedup_readings = est.interpolation_cache is None
+            ready: list[
+                tuple[int, TrackingReading, int | None, dict, np.ndarray]
+            ] = []
+            with tracer.span("engine.interpolate") as isp:
+                for idx, reading, min_votes, quorum_diag in prepared:
+                    try:
+                        key = (id(reading.reference_rssi), reading.masked)
+                        if dedup_readings and key in reading_memo:
+                            virtual = reading_memo[key]
+                        else:
+                            virtual = self._interpolate(reading, surface_memo)
+                            if dedup_readings:
+                                reading_memo[key] = virtual
+                        ready.append(
+                            (idx, reading, min_votes, quorum_diag, virtual)
+                        )
+                    except ReproError as exc:
+                        outcomes[idx] = exc
+                isp.set("unique_surfaces", len(surface_memo))
 
-        # Stage 3: group by surviving reader count and vectorize.
-        groups: dict[int, list[int]] = {}
-        for pos, entry in enumerate(ready):
-            groups.setdefault(entry[1].n_readers, []).append(pos)
-        for members in groups.values():
-            self._estimate_group([ready[pos] for pos in members], outcomes)
+            # Stage 3: group by surviving reader count and vectorize.
+            groups: dict[int, list[int]] = {}
+            for pos, entry in enumerate(ready):
+                groups.setdefault(entry[1].n_readers, []).append(pos)
+            root.set("n_groups", len(groups))
+            for readers_k, members in groups.items():
+                with tracer.span(
+                    "engine.group", readers=readers_k, tags=len(members)
+                ):
+                    self._estimate_group(
+                        [ready[pos] for pos in members], outcomes
+                    )
         return outcomes
 
     # -- pipeline stages -----------------------------------------------------
@@ -392,26 +410,32 @@ class BatchLandmarc:
         readings = list(readings)
         outcomes: list[Outcome] = [None] * len(readings)  # type: ignore[list-item]
         est = self.estimator
-        # Group readings by (K, n_refs) so each group stacks into one
-        # rectangular (T, K, n_refs) tensor.
-        groups: dict[tuple[int, int], list[int]] = {}
-        for idx, reading in enumerate(readings):
-            shape = (reading.n_readers, reading.n_references)
-            groups.setdefault(shape, []).append(idx)
-        for (k, n_refs), members in groups.items():
-            tracking = np.empty((len(members), k))
-            references = np.empty((len(members), k, n_refs))
-            for t, idx in enumerate(members):
-                tracking[t] = readings[idx].tracking_rssi
-                references[t] = readings[idx].reference_rssi
-            distances = kernels.batch_landmarc_distances(tracking, references)
-            for t, idx in enumerate(members):
-                try:
-                    outcomes[idx] = est._estimate_from_distances(
-                        readings[idx], distances[t]
-                    )
-                except ReproError as exc:
-                    outcomes[idx] = exc
+        with current_tracer().span(
+            "engine.landmarc", n_readings=len(readings)
+        ) as root:
+            # Group readings by (K, n_refs) so each group stacks into one
+            # rectangular (T, K, n_refs) tensor.
+            groups: dict[tuple[int, int], list[int]] = {}
+            for idx, reading in enumerate(readings):
+                shape = (reading.n_readers, reading.n_references)
+                groups.setdefault(shape, []).append(idx)
+            root.set("n_groups", len(groups))
+            for (k, n_refs), members in groups.items():
+                tracking = np.empty((len(members), k))
+                references = np.empty((len(members), k, n_refs))
+                for t, idx in enumerate(members):
+                    tracking[t] = readings[idx].tracking_rssi
+                    references[t] = readings[idx].reference_rssi
+                distances = kernels.batch_landmarc_distances(
+                    tracking, references
+                )
+                for t, idx in enumerate(members):
+                    try:
+                        outcomes[idx] = est._estimate_from_distances(
+                            readings[idx], distances[t]
+                        )
+                    except ReproError as exc:
+                        outcomes[idx] = exc
         return outcomes
 
 

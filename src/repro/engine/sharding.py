@@ -17,6 +17,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Sequence, TypeVar
 
 from ..exceptions import ConfigurationError
+from ..obs import current_tracer
 from ..utils.parallel import compute_chunksize, resolve_n_jobs
 from .config import EngineConfig
 
@@ -79,17 +80,41 @@ def map_shards(
     config = config or EngineConfig()
     shards = compute_shards(n_items, config)
     jobs = resolve_n_jobs(config.n_jobs)
+    tracer = current_tracer()
     if jobs == 1 or len(shards) <= 1:
-        return [item for shard in shards for item in fn(shard)]
+        # Serial path: per-shard spans nest under the dispatch span (the
+        # worker-pool paths run fn in other processes, where the ambient
+        # tracer of *this* process cannot follow).
+        with tracer.span(
+            "engine.map_shards", n_items=n_items, n_shards=len(shards),
+            mode="serial",
+        ):
+            out: list[T] = []
+            for i, shard in enumerate(shards):
+                with tracer.span(
+                    "engine.shard", shard=i, size=len(shard)
+                ):
+                    out.extend(fn(shard))
+            return out
     workers = min(jobs, len(shards))
     policy = config.runtime
     if policy is not None and policy.supervised:
         from ..runtime.supervisor import supervised_map  # lazy import
 
-        nested = supervised_map(fn, shards, max_workers=workers, policy=policy)
-        return [item for chunk in nested for item in chunk]
-    out: list[T] = []
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        for chunk in pool.map(fn, shards):
-            out.extend(chunk)
-    return out
+        with tracer.span(
+            "engine.map_shards", n_items=n_items, n_shards=len(shards),
+            mode="supervised", workers=workers,
+        ):
+            nested = supervised_map(
+                fn, shards, max_workers=workers, policy=policy
+            )
+            return [item for chunk in nested for item in chunk]
+    with tracer.span(
+        "engine.map_shards", n_items=n_items, n_shards=len(shards),
+        mode="pool", workers=workers,
+    ):
+        out = []
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for chunk in pool.map(fn, shards):
+                out.extend(chunk)
+        return out

@@ -141,15 +141,20 @@ class CheckpointWriter:
     def write_snapshot(
         self, *, t: float, results_count: int, **fields: Any
     ) -> None:
-        self._write(
-            {
-                "type": "snapshot",
-                "t": float(t),
-                "results_count": int(results_count),
-                **fields,
-            },
-            sync=True,
-        )
+        from ..obs import current_tracer  # local: keep module import-light
+
+        with current_tracer().span(
+            "runtime.snapshot", t_cut=float(t), results=int(results_count)
+        ):
+            self._write(
+                {
+                    "type": "snapshot",
+                    "t": float(t),
+                    "results_count": int(results_count),
+                    **fields,
+                },
+                sync=True,
+            )
         self.snapshots_written += 1
         log_event(
             self._logger, "checkpoint_snapshot",

@@ -44,6 +44,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Sequence, TypeVar
 
 from ..exceptions import ConfigurationError, SupervisionError
+from ..obs import current_tracer
 from ..utils.logging import get_structured_logger, log_event
 from .policy import RuntimePolicy
 
@@ -208,6 +209,9 @@ class SupervisedPool:
                 self.timeouts += 1
                 if self._c_timeouts is not None:
                     self._c_timeouts.inc()
+                current_tracer().event(
+                    "runtime.timeout", task=i, attempt=attempts[i]
+                )
                 log_event(
                     self._logger, "pool_task_timeout",
                     task=i, attempt=attempts[i], deadline_s=timeout,
@@ -223,6 +227,9 @@ class SupervisedPool:
             self.retries += 1
             if self._c_retries is not None:
                 self._c_retries.inc()
+            current_tracer().event(
+                "runtime.retry", task=i, attempt=attempts[i]
+            )
             backoff = self.policy.backoff_s(attempts[i])
             log_event(
                 self._logger, "pool_retry",
@@ -250,6 +257,7 @@ class SupervisedPool:
         self.respawns += 1
         if self._c_respawns is not None:
             self._c_respawns.inc()
+        current_tracer().event("runtime.respawn", workers=self.max_workers)
         pool = self._ensure_pool()
         resubmitted = 0
         for j, future in futures.items():
@@ -277,6 +285,7 @@ class SupervisedPool:
         self.serial_fallbacks += 1
         if self._c_fallbacks is not None:
             self._c_fallbacks.inc()
+        current_tracer().event("runtime.serial_fallback", task=i)
         log_event(self._logger, "pool_serial_fallback", task=i)
         # Deterministic last resort: the same pure function, in-process.
         # A crashed worker therefore degrades throughput, not correctness.
@@ -338,19 +347,28 @@ def run_shard_with_salvage(
             "runtime_shard_salvages_total",
             "Serving-path shard passes recovered item by item",
         )
-    try:
-        return list(fn(items))
-    except Exception as exc:  # noqa: BLE001 - salvage is the whole point
-        if counter is not None:
-            counter.inc()
-        log_event(
-            logger, "shard_salvage",
-            size=len(items), error=type(exc).__name__,
-        )
-        out: list[R] = []
-        for item in items:
-            try:
-                out.extend(fn([item]))
-            except Exception as item_exc:  # noqa: BLE001
-                out.append(error_factory(item, item_exc))
-        return out
+    tracer = current_tracer()
+    with tracer.span("runtime.shard", size=len(items)) as shard_span:
+        try:
+            return list(fn(items))
+        except Exception as exc:  # noqa: BLE001 - salvage is the whole point
+            if counter is not None:
+                counter.inc()
+            log_event(
+                logger, "shard_salvage",
+                size=len(items), error=type(exc).__name__,
+            )
+            with tracer.span(
+                "runtime.salvage", error=type(exc).__name__
+            ) as salvage_span:
+                out: list[R] = []
+                salvaged = 0
+                for item in items:
+                    try:
+                        out.extend(fn([item]))
+                    except Exception as item_exc:  # noqa: BLE001
+                        out.append(error_factory(item, item_exc))
+                        salvaged += 1
+                salvage_span.set("substituted", salvaged)
+            shard_span.set("salvaged", True)
+            return out

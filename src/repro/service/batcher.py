@@ -113,7 +113,7 @@ class MicroBatcher:
                 "batcher_pending_requests", "Requests currently pending"
             )
             self._h_batch = metrics.histogram(
-                "batcher_batch_size",
+                "batcher_batch_size_requests",
                 "Flushed batch sizes",
                 buckets=tuple(float(b) for b in (1, 2, 4, 8, 16, 32, 64, 128)),
             )

@@ -216,7 +216,18 @@ class MetricsRegistry:
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
 
     def _full(self, name: str) -> str:
-        return f"{self.namespace}_{name}" if self.namespace else name
+        """Apply the namespace prefix exactly once.
+
+        Names that already carry the prefix (a component re-registering
+        a metric it read back from the registry — e.g. on session
+        resume) are left alone, so ``repro_repro_*`` duplicates cannot
+        be minted.
+        """
+        if not self.namespace:
+            return name
+        if name.startswith(f"{self.namespace}_"):
+            return name
+        return f"{self.namespace}_{name}"
 
     def _get_or_make(self, cls, name: str, help: str, **kwargs):
         full = self._full(name)

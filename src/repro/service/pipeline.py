@@ -67,6 +67,7 @@ from ..exceptions import (
 )
 from ..geometry.grid import ReferenceGrid
 from ..hardware.middleware import MiddlewareServer
+from ..obs import current_tracer
 from ..runtime.policy import RuntimePolicy
 from ..runtime.supervisor import run_shard_with_salvage
 from ..types import TrackingReading
@@ -316,7 +317,7 @@ class ServicePipeline:
             "service_frames_dropped_total",
             "Reader frames dropped at the detection floor",
         )
-        self._g_frames_per_reader: dict[str, Any] = {}
+        self._c_frames_per_reader: dict[str, Any] = {}
         self._c_failed = m.counter(
             "service_requests_failed_total",
             "Requests with no answer at all (no reading, no last estimate)",
@@ -325,8 +326,8 @@ class ServicePipeline:
             "service_localization_latency_seconds",
             "Wall-clock estimator processing latency per request",
         )
-        self._g_cache_hit_rate = m.gauge(
-            "service_cache_hit_rate", "Interpolation cache hit fraction"
+        self._g_cache_hit_ratio = m.gauge(
+            "service_cache_hit_ratio", "Interpolation cache hit fraction"
         )
         self._c_cache_hits = m.counter(
             "service_cache_hits_total", "Interpolation cache hits"
@@ -369,115 +370,151 @@ class ServicePipeline:
         return results
 
     def _execute_batch(self, batch: Batch, now_s: float) -> list[ServiceResult]:
-        # Records buffered in the ingest queue become visible to every
-        # request in the batch at once — one delivery per batch is what
-        # batching buys on the middleware side. With the middleware state
-        # frozen for the whole batch, snapshot(tag, now_s) is a pure
-        # function of the tag, so duplicate-tag requests (bursty load,
-        # several clients asking about one popular tag) share a single
-        # snapshot assembly.
-        self.ingest.deliver_pending()
+        tracer = current_tracer()
+        cache_hits0 = self.cache.hits if self.cache else 0
+        cache_misses0 = self.cache.misses if self.cache else 0
+        with tracer.span(
+            "service.batch",
+            batch_size=len(batch),
+            replay=bool(self._replaying),
+        ) as bsp:
+            # Records buffered in the ingest queue become visible to every
+            # request in the batch at once — one delivery per batch is what
+            # batching buys on the middleware side. With the middleware state
+            # frozen for the whole batch, snapshot(tag, now_s) is a pure
+            # function of the tag, so duplicate-tag requests (bursty load,
+            # several clients asking about one popular tag) share a single
+            # snapshot assembly.
+            with tracer.span("service.ingest") as isp:
+                delivered = self.ingest.deliver_pending()
+                isp.set("delivered", int(delivered or 0))
 
-        if self._replaying:
-            # Checkpoint replay: drive exactly the *stateful inputs* a
-            # live batch would have driven — record delivery (queue
-            # drops, middleware series) and the health tracker (breaker
-            # transitions) — but skip estimation and serving; the served
-            # results up to the cut were restored from the checkpoint.
-            # Every input here is a pure function of the seeded stream,
-            # so the reconstructed state is bit-identical to the state
-            # of the crashed run at the snapshot cut.
+            if self._replaying:
+                # Checkpoint replay: drive exactly the *stateful inputs* a
+                # live batch would have driven — record delivery (queue
+                # drops, middleware series) and the health tracker (breaker
+                # transitions) — but skip estimation and serving; the served
+                # results up to the cut were restored from the checkpoint.
+                # Every input here is a pure function of the seeded stream,
+                # so the reconstructed state is bit-identical to the state
+                # of the crashed run at the snapshot cut.
+                self.health.observe(
+                    self.middleware.reader_freshness(now_s), now_s
+                )
+                self.health.allowed_readers(now_s)
+                return []
+
+            # Health first: with the middleware state frozen for the batch,
+            # one freshness observation per batch drives the breakers, and
+            # open readers are excluded from every snapshot in the batch.
             self.health.observe(self.middleware.reader_freshness(now_s), now_s)
-            self.health.allowed_readers(now_s)
-            return []
+            allowed = set(self.health.allowed_readers(now_s))
+            blocked = frozenset(self.middleware.reader_ids) - allowed
+            if blocked:
+                bsp.set("blocked_readers", sorted(str(r) for r in blocked))
 
-        # Health first: with the middleware state frozen for the batch,
-        # one freshness observation per batch drives the breakers, and
-        # open readers are excluded from every snapshot in the batch.
-        self.health.observe(self.middleware.reader_freshness(now_s), now_s)
-        allowed = set(self.health.allowed_readers(now_s))
-        blocked = frozenset(self.middleware.reader_ids) - allowed
+            snapshots: dict[str, Any] = {}
+            allow_partial = self.config.allow_partial
 
-        snapshots: dict[str, Any] = {}
-        allow_partial = self.config.allow_partial
+            def fetch(tag_id: str):
+                if tag_id not in snapshots:
+                    try:
+                        reading = self.middleware.snapshot(
+                            tag_id, now_s, allow_partial=allow_partial
+                        )
+                        if allow_partial and blocked:
+                            reading = self._exclude_readers(reading, blocked)
+                        snapshots[tag_id] = reading
+                    except ReadingError:
+                        snapshots[tag_id] = None
+                return snapshots[tag_id]
 
-        def fetch(tag_id: str):
-            if tag_id not in snapshots:
-                try:
-                    reading = self.middleware.snapshot(
-                        tag_id, now_s, allow_partial=allow_partial
+            # The whole batch is localized in two vectorized passes through
+            # the batch engine — one primary VIRE pass, then one LANDMARC
+            # pass over exactly the requests the scalar ladder would have
+            # sent there (past-deadline requests and VIRE refusals). Answers
+            # are bitwise identical to serving requests one at a time; only
+            # the wall-clock cost is amortized. Pass latency is attributed
+            # evenly across the participating requests so the per-request
+            # histogram keeps measuring real work.
+            requests = list(batch)
+            with tracer.span("service.snapshot") as ssp:
+                readings = [fetch(r.tag_id) for r in requests]
+                ssp.set("unique_tags", len(snapshots))
+                ssp.set(
+                    "missing", sum(1 for r in readings if r is None)
+                )
+
+            primary: list[int] = []
+            deadline_first: list[int] = []
+            for i, (request, reading) in enumerate(zip(requests, readings)):
+                if reading is None:
+                    continue
+                past = (
+                    request.deadline_s is not None
+                    and now_s > request.deadline_s
+                )
+                (deadline_first if past else primary).append(i)
+
+            vire_outcomes: dict[int, Outcome] = {}
+            vire_share = 0.0
+            if primary:
+                with tracer.span(
+                    "service.vire_pass", n_requests=len(primary)
+                ):
+                    t0 = self._perf_clock()
+                    outs = self._sharded_outcomes(
+                        self.vire.estimate_outcomes,
+                        [readings[i] for i in primary],
                     )
-                    if allow_partial and blocked:
-                        reading = self._exclude_readers(reading, blocked)
-                    snapshots[tag_id] = reading
-                except ReadingError:
-                    snapshots[tag_id] = None
-            return snapshots[tag_id]
+                    vire_share = (self._perf_clock() - t0) / len(primary)
+                    vire_outcomes = dict(zip(primary, outs))
 
-        # The whole batch is localized in two vectorized passes through
-        # the batch engine — one primary VIRE pass, then one LANDMARC
-        # pass over exactly the requests the scalar ladder would have
-        # sent there (past-deadline requests and VIRE refusals). Answers
-        # are bitwise identical to serving requests one at a time; only
-        # the wall-clock cost is amortized. Pass latency is attributed
-        # evenly across the participating requests so the per-request
-        # histogram keeps measuring real work.
-        requests = list(batch)
-        readings = [fetch(r.tag_id) for r in requests]
+            needs_fallback = deadline_first + [
+                i for i in primary
+                if isinstance(vire_outcomes[i], EstimationError)
+            ]
+            lm_outcomes: dict[int, Outcome] = {}
+            lm_share = 0.0
+            if needs_fallback:
+                with tracer.span(
+                    "service.landmarc_pass", n_requests=len(needs_fallback)
+                ):
+                    t0 = self._perf_clock()
+                    outs = self._sharded_outcomes(
+                        self._batch_fallback.estimate_outcomes,
+                        [readings[i] for i in needs_fallback],
+                    )
+                    lm_share = (
+                        self._perf_clock() - t0
+                    ) / len(needs_fallback)
+                    lm_outcomes = dict(zip(needs_fallback, outs))
 
-        primary: list[int] = []
-        deadline_first: list[int] = []
-        for i, (request, reading) in enumerate(zip(requests, readings)):
-            if reading is None:
-                continue
-            past = (
-                request.deadline_s is not None and now_s > request.deadline_s
-            )
-            (deadline_first if past else primary).append(i)
-
-        vire_outcomes: dict[int, Outcome] = {}
-        vire_share = 0.0
-        if primary:
-            t0 = self._perf_clock()
-            outs = self._sharded_outcomes(
-                self.vire.estimate_outcomes, [readings[i] for i in primary]
-            )
-            vire_share = (self._perf_clock() - t0) / len(primary)
-            vire_outcomes = dict(zip(primary, outs))
-
-        needs_fallback = deadline_first + [
-            i for i in primary
-            if isinstance(vire_outcomes[i], EstimationError)
-        ]
-        lm_outcomes: dict[int, Outcome] = {}
-        lm_share = 0.0
-        if needs_fallback:
-            t0 = self._perf_clock()
-            outs = self._sharded_outcomes(
-                self._batch_fallback.estimate_outcomes,
-                [readings[i] for i in needs_fallback],
-            )
-            lm_share = (self._perf_clock() - t0) / len(needs_fallback)
-            lm_outcomes = dict(zip(needs_fallback, outs))
-
-        results = []
-        for i, request in enumerate(requests):
-            share = (vire_share if i in vire_outcomes else 0.0) + (
-                lm_share if i in lm_outcomes else 0.0
-            )
-            result = self._serve_one(
-                request,
-                now_s,
-                readings[i],
-                vire_outcomes.get(i),
-                lm_outcomes.get(i),
-                share,
-            )
-            if result is not None:
-                results.append(result)
-        self._sync_cache_metrics()
-        self._sync_frame_metrics()
-        return results
+            results = []
+            for i, request in enumerate(requests):
+                share = (vire_share if i in vire_outcomes else 0.0) + (
+                    lm_share if i in lm_outcomes else 0.0
+                )
+                result = self._serve_one(
+                    request,
+                    now_s,
+                    readings[i],
+                    vire_outcomes.get(i),
+                    lm_outcomes.get(i),
+                    share,
+                )
+                if result is not None:
+                    results.append(result)
+            self._sync_cache_metrics()
+            self._sync_frame_metrics()
+            if self.cache is not None:
+                # Per-batch cache deltas: the trace-summary ladder
+                # breakdown sums these (deterministic under seeded runs).
+                bsp.set("cache_hits", int(self.cache.hits - cache_hits0))
+                bsp.set(
+                    "cache_misses", int(self.cache.misses - cache_misses0)
+                )
+            return results
 
     def _sharded_outcomes(self, fn, readings: list) -> list[Outcome]:
         """Run one engine pass, split into ``engine.shard_size`` shards.
@@ -552,7 +589,30 @@ class ServicePipeline:
         are the per-reading results (or the errors the scalar calls would
         have raised); ``batch_share_s`` is this request's even share of
         the batched passes' wall-clock, folded into its latency.
+
+        Every serve decision is traced as one ``service.serve`` span with
+        the ladder outcome as attributes (``level``/``reason``/
+        ``estimator``/``degraded`` — or ``failed`` when even level 4 has
+        nothing). ``repro trace summary`` aggregates exactly these.
         """
+        with current_tracer().span(
+            "service.serve", tag=request.tag_id
+        ) as span:
+            return self._serve_one_traced(
+                span, request, now_s, reading,
+                vire_outcome, lm_outcome, batch_share_s,
+            )
+
+    def _serve_one_traced(
+        self,
+        span,
+        request: LocalizationRequest,
+        now_s: float,
+        reading: Any,
+        vire_outcome: Outcome | None,
+        lm_outcome: Outcome | None,
+        batch_share_s: float,
+    ) -> ServiceResult | None:
         t0 = self._perf_clock()
         estimator_name = self.vire.name
         degraded = False
@@ -580,6 +640,7 @@ class ServicePipeline:
             estimator_name = "last-known"
             if position is None:
                 self._c_failed.inc()
+                span.update(failed=True, reason="no_reading")
                 log_event(
                     self._logger, "request_failed",
                     tag=request.tag_id, t=now_s, reason="no_reading",
@@ -594,6 +655,7 @@ class ServicePipeline:
                 estimator_name = "last-known"
                 if position is None:
                     self._c_failed.inc()
+                    span.update(failed=True, reason="no_reading")
                     log_event(
                         self._logger, "request_failed",
                         tag=request.tag_id, t=now_s, reason="no_reading",
@@ -628,6 +690,7 @@ class ServicePipeline:
                     estimator_name = "last-known"
                     if position is None:
                         self._c_failed.inc()
+                        span.update(failed=True, reason="no_reading")
                         log_event(
                             self._logger, "request_failed",
                             tag=request.tag_id, t=now_s, reason="no_reading",
@@ -639,6 +702,17 @@ class ServicePipeline:
                     estimator_name = self.fallback.name
                     diagnostics = dict(base.diagnostics)
 
+        if estimator_name == "last-known":
+            level = 4
+        elif estimator_name == self.fallback.name:
+            level = 3
+        elif degraded:
+            level = 2
+        else:
+            level = 1
+        span.update(level=level, estimator=estimator_name, degraded=degraded)
+        if reason is not None:
+            span.set("reason", reason)
         latency = self._perf_clock() - t0 + batch_share_s
         self._h_latency.observe(latency)
         self._c_results.inc()
@@ -667,7 +741,7 @@ class ServicePipeline:
     def _sync_cache_metrics(self) -> None:
         if self.cache is None:
             return
-        self._g_cache_hit_rate.set(self.cache.hit_rate)
+        self._g_cache_hit_ratio.set(self.cache.hit_rate)
         # Counters mirror the cache's monotone totals.
         self._c_cache_hits.inc(self.cache.hits - self._c_cache_hits.value)
         self._c_cache_misses.inc(self.cache.misses - self._c_cache_misses.value)
@@ -678,9 +752,10 @@ class ServicePipeline:
         Satellite of the faults work: readers already count frames
         received vs dropped at the detection floor; the middleware
         exposes them (:meth:`MiddlewareServer.frame_stats`) and the
-        service republishes them as gauges (per reader) and monotone
-        totals, so a chaos run's frame loss is visible next to the
-        degradation counters.
+        service republishes them as monotone counters — per reader and in
+        total — so a chaos run's frame loss is visible next to the
+        degradation counters. (These were once gauges holding cumulative
+        counts; they are counters now, named ``*_total`` per convention.)
         """
         stats = self.middleware.frame_stats()
         if not stats:
@@ -691,17 +766,19 @@ class ServicePipeline:
             total_received += st["received"]
             total_dropped += st["dropped"]
             safe = re.sub(r"[^a-zA-Z0-9_:]", "_", str(reader_id))
-            key_r = f"service_frames_received_{safe}"
-            key_d = f"service_frames_dropped_{safe}"
-            if key_r not in self._g_frames_per_reader:
-                self._g_frames_per_reader[key_r] = self.metrics.gauge(
+            key_r = f"service_frames_received_{safe}_total"
+            key_d = f"service_frames_dropped_{safe}_total"
+            if key_r not in self._c_frames_per_reader:
+                self._c_frames_per_reader[key_r] = self.metrics.counter(
                     key_r, f"Frames received by reader {reader_id}"
                 )
-                self._g_frames_per_reader[key_d] = self.metrics.gauge(
+                self._c_frames_per_reader[key_d] = self.metrics.counter(
                     key_d, f"Frames dropped by reader {reader_id}"
                 )
-            self._g_frames_per_reader[key_r].set(float(st["received"]))
-            self._g_frames_per_reader[key_d].set(float(st["dropped"]))
+            c_r = self._c_frames_per_reader[key_r]
+            c_d = self._c_frames_per_reader[key_d]
+            c_r.inc(float(st["received"]) - c_r.value)
+            c_d.inc(float(st["dropped"]) - c_d.value)
         self._c_frames_received.inc(
             total_received - self._c_frames_received.value
         )

@@ -25,6 +25,7 @@ from __future__ import annotations
 import asyncio
 import os
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Mapping
 
@@ -38,6 +39,7 @@ from ..runtime.checkpoint import (
     jsonable,
     load_checkpoint,
 )
+from ..obs import NULL_TRACER, Tracer, current_tracer, use_tracer
 from ..types import estimation_error
 from .metrics import MetricsRegistry, get_service_logger, log_event
 from .pipeline import ServiceConfig, ServicePipeline, ServiceResult
@@ -209,6 +211,7 @@ class LocalizationService:
         checkpoint_path: str | os.PathLike | None = None,
         resume: bool = False,
         crash_point: "CrashPoint | None" = None,
+        tracer: Tracer | None = None,
     ) -> SessionReport:
         """Stream ``scenario`` for ``duration_s`` simulated seconds.
 
@@ -250,6 +253,16 @@ class LocalizationService:
         *graceful* shutdown: the batcher is drained, a final snapshot
         and an ``end`` marker are written, and the report carries
         ``summary["interrupted"] = 1.0``.
+
+        ``tracer``
+            Optional :class:`repro.obs.Tracer` installed as the ambient
+            tracer for the whole session. Its deterministic clock is
+            wired to the simulator (spans are stamped with simulation
+            time), so the *logical* trace — span tree, attributes, sim
+            timestamps — is a pure function of the seeded scenario;
+            ``repro trace record`` relies on exactly that. ``None`` (the
+            default) leaves the ambient tracer alone: normally the
+            no-op, so instrumentation costs nothing.
         """
         from ..faults.crash import SimulatedCrash  # lazy: avoid cycle
 
@@ -265,6 +278,9 @@ class LocalizationService:
             self.config,
             perf_clock=self._perf_clock,
         )
+        if tracer is not None and tracer.clock is None:
+            # Deterministic span timestamps: simulation time, not wall.
+            tracer.clock = lambda: simulator.now
         injector = None
         if fault_plan is not None:
             from ..faults.injector import FaultInjector  # lazy: avoid cycle
@@ -287,11 +303,16 @@ class LocalizationService:
 
         wall_start = self._perf_clock()
         interrupted = False
+        tracer_scope = (
+            use_tracer(tracer) if tracer is not None else nullcontext()
+        )
         try:
-            with SimulatorRecordStream(
+            with tracer_scope, SimulatorRecordStream(
                 simulator, step_s=self.config.stream_step_s
             ) as stream:
-                self._warm_up(stream, pipeline)
+                with current_tracer().span("session.warmup") as wsp:
+                    warmed_s = self._warm_up(stream, pipeline)
+                    wsp.set("warmed_until_s", float(warmed_s))
                 if injector is not None:
                     simulator.set_fault_injector(injector)
                 if restored is not None:
@@ -344,7 +365,9 @@ class LocalizationService:
                     if not interrupted:
                         pipeline.verify_replay(restored.snapshot["state"])
                 end_s = simulator.now
-                drained = pipeline.drain(end_s)
+                with current_tracer().span("service.drain") as dsp:
+                    drained = pipeline.drain(end_s)
+                    dsp.set("n_drained", len(drained))
                 for result in drained:
                     if on_result is not None:
                         on_result(result)
@@ -560,21 +583,30 @@ class LocalizationService:
             nonlocal replay_until, records_dispatched, wal_index
             nonlocal next_snapshot, last_cut, interrupted
             try:
+                tracer = current_tracer()
                 while True:
                     tick = await ticks.get()
                     if tick is None:
                         return
                     now_s, records = tick
-                    if replay_until is not None and now_s > replay_until:
-                        flip_to_live(now_s)
-                        replay_until = None
-                    pipeline.ingest.submit(records)
-                    records_dispatched += len(records)
-                    for tag in tag_ids:
-                        if now_s >= next_query[tag]:
-                            pipeline.submit_request(tag, now_s)
-                            next_query[tag] = now_s + interval
-                    served = pipeline.process_due(now_s)
+                    with tracer.span(
+                        "service.tick",
+                        tick_s=float(now_s),
+                        replay=bool(pipeline.replaying),
+                    ) as tsp:
+                        if replay_until is not None and now_s > replay_until:
+                            flip_to_live(now_s)
+                            replay_until = None
+                        pipeline.ingest.submit(records)
+                        records_dispatched += len(records)
+                        for tag in tag_ids:
+                            if now_s >= next_query[tag]:
+                                pipeline.submit_request(tag, now_s)
+                                next_query[tag] = now_s + interval
+                        served = pipeline.process_due(now_s)
+                        tsp.update(
+                            n_records=len(records), n_served=len(served)
+                        )
                     if writer is not None and not pipeline.replaying:
                         # Write-ahead: results hit the log *before* any
                         # observer — a consumer can never have seen a

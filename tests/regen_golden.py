@@ -17,7 +17,14 @@ on a single-ULP drift in any of them. Three scenarios are traced:
   the relax fallback are all on the traced path;
 * ``chaos_preset.json`` — a short chaotic streaming session (moderate
   fault preset) through the full service stack: middleware, breakers,
-  batch engine and the degradation ladder.
+  batch engine and the degradation ladder;
+* ``trace_serve.json`` — the **logical span forest** of that same chaotic
+  session recorded through :class:`repro.obs.Tracer`: every ladder
+  decision (level/reason/estimator), cache hit/miss delta and batch
+  trigger is pinned, so control-flow changes cannot land silently;
+* ``trace_fig6.json`` — the logical ``vire.estimate`` span trees for one
+  frozen trial of the Fig. 6 scenario in all three environments
+  (thresholds, selected-cell counts, fallbacks).
 
 Regenerate **only** when a numerical change is intentional, and say why
 in the commit message.
@@ -187,10 +194,16 @@ def build_masked_trace() -> dict:
     }
 
 
-def build_chaos_trace() -> dict:
-    """A short chaotic service session, positions pinned bit-exactly."""
-    import math  # noqa: F401  (kept for parity with fault tests)
+def run_chaos_session(tracer=None):
+    """The frozen chaotic service session behind two golden fixtures.
 
+    ``chaos_preset.json`` pins its results bit-exactly;
+    ``trace_serve.json`` pins the logical span forest of the same run
+    (``tracer`` must then be a :class:`repro.obs.Tracer`). The tracer
+    must never perturb the answers — ``tests/test_golden_traces.py``
+    asserts exactly that by comparing the traced run's results against
+    the untraced fixture.
+    """
     from repro.faults import chaos_preset
     from repro.hardware.deployment import build_paper_deployment
     from repro.hardware.middleware import SmoothingSpec
@@ -221,8 +234,14 @@ def build_chaos_trace() -> dict:
         vire=VIREConfig(subdivisions=5),
     )
     plan = chaos_preset("moderate", seed=CHAOS_SEED)
-    report = _Service(config).run(_Scenario(), CHAOS_DURATION_S, fault_plan=plan)
-    results = [
+    return _Service(config).run(
+        _Scenario(), CHAOS_DURATION_S, fault_plan=plan, tracer=tracer
+    )
+
+
+def chaos_result_docs(report) -> list:
+    """The bit-exact result documents stored in ``chaos_preset.json``."""
+    return [
         {
             "tag_id": r.tag_id,
             "position_hex": [_hex(r.position[0]), _hex(r.position[1])],
@@ -232,12 +251,81 @@ def build_chaos_trace() -> dict:
         }
         for r in report.results
     ]
+
+
+def build_chaos_trace() -> dict:
+    """A short chaotic service session, positions pinned bit-exactly."""
+    report = run_chaos_session()
     return {
         "scenario": "chaos-preset: moderate faults, clean-room paper "
         f"deployment, {CHAOS_DURATION_S}s session (seed {CHAOS_SEED})",
         "seed": CHAOS_SEED,
         "duration_s": CHAOS_DURATION_S,
-        "results": results,
+        "results": chaos_result_docs(report),
+    }
+
+
+def build_trace_serve() -> dict:
+    """Logical span forest of the chaotic serve session.
+
+    Pins every control-flow decision the service makes: batch flush
+    triggers, ladder level/reason/estimator per serve, interpolation
+    cache hit/miss deltas, degradation spans. Wall-clock annotations are
+    stripped (:meth:`repro.obs.Tracer.logical_documents`), so the
+    fixture is a pure function of the seed.
+    """
+    from repro.obs import Tracer
+
+    tracer = Tracer()
+    run_chaos_session(tracer=tracer)
+    return {
+        "scenario": "trace-serve: logical span forest of the chaos-preset "
+        f"session (seed {CHAOS_SEED}) — ladder, cache and batch decisions",
+        "seed": CHAOS_SEED,
+        "duration_s": CHAOS_DURATION_S,
+        "spans": tracer.logical_documents(),
+    }
+
+
+def build_trace_fig6() -> dict:
+    """Logical ``vire.estimate`` span trees for the Fig. 6 scenario.
+
+    One frozen trial per environment, all nine tracking tags, the
+    Fig. 6 operating point (``default_vire_config``): thresholds,
+    selected-cell counts and relax fallbacks are pinned per tag per
+    environment without the cost of the full 20-trial figure run.
+    """
+    from repro.experiments.figures import default_vire_config
+    from repro.geometry.placement import paper_testbed_grid
+    from repro.obs import Tracer, use_tracer
+    from repro.rf.environments import env1, env2
+
+    grid = paper_testbed_grid()
+    environments = {}
+    for factory in (env1, env2, env3):
+        env = factory()
+        scenario = paper_scenario(env, n_trials=1, base_seed=PAPER_SEED)
+        sampler = TrialSampler(
+            scenario.environment,
+            scenario.grid,
+            seed=scenario.trial_seed(0),
+            measurement=scenario.measurement,
+        )
+        est = VIREEstimator(grid, default_vire_config())
+        tracer = Tracer()
+        with use_tracer(tracer):
+            for label in scenario.tracking_tags:
+                reading = sampler.reading_for(scenario.tracking_tags[label])
+                try:
+                    est.estimate(reading)
+                except ReproError:
+                    pass  # the span still records the error class
+        environments[env.name] = tracer.logical_documents()
+    return {
+        "scenario": "trace-fig6: logical vire.estimate span trees, one "
+        f"frozen trial (seed {PAPER_SEED}) per environment",
+        "seed": PAPER_SEED,
+        "environments": environments,
     }
 
 
@@ -245,6 +333,8 @@ BUILDERS = {
     "paper_config.json": build_paper_trace,
     "masked_reading.json": build_masked_trace,
     "chaos_preset.json": build_chaos_trace,
+    "trace_serve.json": build_trace_serve,
+    "trace_fig6.json": build_trace_fig6,
 }
 
 

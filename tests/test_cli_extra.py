@@ -85,3 +85,135 @@ class TestChaosCommand:
     def test_unknown_preset_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["chaos", "--preset", "doom"])
+
+
+class TestTraceCommand:
+    """``repro trace``: record / summary / canon / diff round trip."""
+
+    def _record(self, path, seed=5):
+        return main([
+            "trace", "record", "--env", "Env1", "--duration", "4",
+            "--seed", str(seed), "--query-interval", "1.0",
+            "--out", str(path),
+        ])
+
+    def test_record_and_summarize(self, tmp_path, capsys):
+        out = tmp_path / "t.jsonl"
+        assert self._record(out) == 0
+        recorded = capsys.readouterr().out
+        assert "root spans" in recorded and str(out) in recorded
+        assert main(["trace", "summary", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "stages by self time" in text
+        assert "ladder breakdown" in text
+
+    def test_canon_is_byte_identical_across_seeded_runs(self, tmp_path,
+                                                        capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        assert self._record(a) == 0
+        assert self._record(b) == 0
+        capsys.readouterr()
+        assert main(["trace", "canon", str(a)]) == 0
+        canon_a = capsys.readouterr().out
+        assert main(["trace", "canon", str(b)]) == 0
+        canon_b = capsys.readouterr().out
+        assert canon_a == canon_b  # the CI trace-smoke contract
+        assert "wall_s" not in canon_a
+
+    def test_diff_agreeing_traces_exits_0(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        assert self._record(a) == 0
+        assert self._record(b) == 0
+        capsys.readouterr()
+        assert main(["trace", "diff", str(a), str(b)]) == 0
+        assert "traces agree" in capsys.readouterr().out
+
+
+def _tiny_trace(path, level=1):
+    """A minimal hand-written trace file (header + one root span)."""
+    import json
+
+    lines = [
+        {"format": "repro-trace", "version": 1, "seed": 0},
+        {"name": "service.serve", "t": 1.0, "wall_s": 0.01,
+         "attrs": {"level": level, "estimator": "VIRE"}},
+    ]
+    path.write_text(
+        "".join(json.dumps(line, sort_keys=True) + "\n" for line in lines)
+    )
+
+
+class TestCliErrorPaths:
+    """Exit-code policy: ReproError -> stderr + 2; diff divergence -> 1;
+    argparse usage errors -> SystemExit(2)."""
+
+    def test_trace_summary_missing_file_exits_2(self, capsys):
+        assert main(["trace", "summary", "/no/such/trace.jsonl"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "cannot read trace file" in err
+
+    def test_trace_record_unwritable_out_exits_2(self, tmp_path, capsys):
+        out = tmp_path / "missing-dir" / "t.jsonl"
+        assert main([
+            "trace", "record", "--env", "Env1", "--duration", "2",
+            "--out", str(out),
+        ]) == 2
+        assert "cannot open trace file" in capsys.readouterr().err
+
+    def test_trace_canon_rejects_non_trace_file(self, tmp_path, capsys):
+        alien = tmp_path / "alien.jsonl"
+        alien.write_text('{"format": "something-else"}\n')
+        assert main(["trace", "canon", str(alien)]) == 2
+        assert "not a repro-trace file" in capsys.readouterr().err
+
+    def test_trace_diff_divergence_exits_1(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        _tiny_trace(a, level=1)
+        _tiny_trace(b, level=3)
+        assert main(["trace", "diff", str(a), str(b)]) == 1
+        out = capsys.readouterr().out
+        assert "traces diverge" in out
+        assert "attrs.level" in out
+
+    def test_trace_diff_wall_view_flags_timing_differences(self, tmp_path,
+                                                           capsys):
+        import json
+
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        _tiny_trace(a)
+        _tiny_trace(b)
+        doc = json.loads(b.read_text().splitlines()[1])
+        doc["wall_s"] = 9.9
+        b.write_text(
+            b.read_text().splitlines()[0] + "\n"
+            + json.dumps(doc, sort_keys=True) + "\n"
+        )
+        assert main(["trace", "diff", str(a), str(b)]) == 0  # logical view
+        capsys.readouterr()
+        assert main(["trace", "diff", "--wall", str(a), str(b)]) == 1
+        assert "wall_s" in capsys.readouterr().out
+
+    def test_serve_resume_without_checkpoint_exits_2(self, capsys):
+        assert main([
+            "serve", "--env", "Env1", "--duration", "2", "--resume",
+        ]) == 2
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+    def test_serve_resume_conflicts_with_kill_at(self, tmp_path, capsys):
+        assert main([
+            "serve", "--env", "Env1", "--duration", "2",
+            "--checkpoint", str(tmp_path / "wal.jsonl"),
+            "--resume", "--kill-at", "1.0",
+        ]) == 2
+        assert "conflict" in capsys.readouterr().err
+
+    def test_unknown_chaos_preset_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["chaos", "--preset", "doom"])
+        assert exc.value.code == 2
+
+    def test_trace_requires_a_subcommand(self):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["trace"])
+        assert exc.value.code == 2

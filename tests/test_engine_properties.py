@@ -10,6 +10,8 @@ out as exactly the exception the scalar call would raise.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -21,6 +23,7 @@ from repro import paper_testbed_grid
 from repro.engine import BatchEngine, EngineConfig, compute_shards
 from repro.engine import kernels
 from repro.exceptions import ConfigurationError, ReproError
+from repro.geometry.grid import ReferenceGrid
 
 GRID = paper_testbed_grid()
 REF_POSITIONS = GRID.tag_positions()
@@ -189,6 +192,159 @@ class TestBatchEqualsScalar:
                 est.estimate_outcomes([readings[i] for i in shard])
             )
         assert_outcomes_identical(whole, sharded)
+
+
+def _translated_world(readings, dx: int, dy: int):
+    """The same readings in a rigidly translated room.
+
+    Whole-metre offsets keep every coordinate (and every coordinate
+    *difference* the interpolation kernels take) exactly representable,
+    so the logical pipeline — thresholds, proximity maps, vote counts —
+    must be **bitwise** unchanged; only the final centroid moves.
+    """
+    grid = ReferenceGrid(
+        rows=4, cols=4, spacing_x=1.0, spacing_y=1.0,
+        origin=(float(dx), float(dy)),
+    )
+    positions = grid.tag_positions()
+    moved = [replace(r, reference_positions=positions) for r in readings]
+    return grid, moved
+
+
+class TestMetamorphicInvariance:
+    """Physics-level invariances of the estimators themselves.
+
+    Metamorphic relations (no oracle needed): localizing in a rigidly
+    translated room must translate the answer and nothing else, and the
+    answer cannot depend on which reader is called "reader 0". Both are
+    checked on the scalar path *and* the batch engine — an invariance
+    that held scalar-side but broke in a vectorized reduction would be
+    exactly the kind of silent regression this suite exists to catch.
+    """
+
+    @given(
+        batch_strategy(max_size=4),
+        st.integers(-12, 12),
+        st.integers(-12, 12),
+        config_strategy,
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_vire_translation_equivariance(self, readings, dx, dy, config):
+        d = np.array([float(dx), float(dy)])
+        grid_t, moved = _translated_world(readings, dx, dy)
+        est = VIREEstimator(GRID, config)
+        est_t = VIREEstimator(grid_t, config)
+        base = scalar_outcomes(est, readings)
+        shifted = scalar_outcomes(est_t, moved)
+        shifted_batch = est_t.estimate_outcomes(moved)
+        for b, s, sb in zip(base, shifted, shifted_batch):
+            if isinstance(b, ReproError):
+                # The failure mode is part of the physics: it must not
+                # depend on where the room sits.
+                assert type(s) is type(b)
+                assert type(sb) is type(b)
+                continue
+            for other in (s, sb):
+                assert not isinstance(other, ReproError)
+                # Logical path bitwise unchanged...
+                assert (
+                    other.diagnostics["threshold_db"]
+                    == b.diagnostics["threshold_db"]
+                )
+                assert (
+                    other.diagnostics["n_selected"]
+                    == b.diagnostics["n_selected"]
+                )
+                # ...and the centroid rides along with the room.
+                assert np.allclose(
+                    np.asarray(other.position) - d,
+                    np.asarray(b.position),
+                    atol=1e-9,
+                )
+
+    @given(
+        batch_strategy(masked=True, max_size=4),
+        st.integers(-12, 12),
+        st.integers(-12, 12),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_landmarc_translation_equivariance(self, readings, dx, dy):
+        from repro.engine.batch import BatchLandmarc
+
+        d = np.array([float(dx), float(dy)])
+        _, moved = _translated_world(readings, dx, dy)
+        est = LandmarcEstimator()
+        base = scalar_outcomes(est, readings)
+        shifted = scalar_outcomes(est, moved)
+        shifted_batch = BatchLandmarc(est).estimate_outcomes(moved)
+        for b, s, sb in zip(base, shifted, shifted_batch):
+            if isinstance(b, ReproError):
+                assert type(s) is type(b)
+                assert type(sb) is type(b)
+                continue
+            for other in (s, sb):
+                assert not isinstance(other, ReproError)
+                assert np.allclose(
+                    np.asarray(other.position) - d,
+                    np.asarray(b.position),
+                    atol=1e-9,
+                )
+
+    @given(batch_strategy(max_size=4), st.permutations(range(4)), config_strategy)
+    @settings(max_examples=12, deadline=None)
+    def test_vire_reader_relabeling_invariance(self, readings, perm, config):
+        """Relabeling readers is a no-op: proximity maps intersect over
+        an unordered reader set, so thresholds and vote counts must be
+        bitwise identical, and the centroid equal to reduction-order
+        rounding."""
+        est = VIREEstimator(GRID, config)
+        base = scalar_outcomes(est, readings)
+        relabeled = [r.subset_readers(list(perm)) for r in readings]
+        permuted = scalar_outcomes(est, relabeled)
+        permuted_batch = est.estimate_outcomes(relabeled)
+        for b, p, pb in zip(base, permuted, permuted_batch):
+            if isinstance(b, ReproError):
+                assert type(p) is type(b)
+                assert type(pb) is type(b)
+                continue
+            for other in (p, pb):
+                assert not isinstance(other, ReproError)
+                assert (
+                    other.diagnostics["threshold_db"]
+                    == b.diagnostics["threshold_db"]
+                )
+                assert (
+                    other.diagnostics["n_selected"]
+                    == b.diagnostics["n_selected"]
+                )
+                assert np.allclose(
+                    np.asarray(other.position),
+                    np.asarray(b.position),
+                    atol=1e-9,
+                )
+
+    @given(batch_strategy(masked=True, max_size=4), st.permutations(range(4)))
+    @settings(max_examples=10, deadline=None)
+    def test_landmarc_reader_relabeling_invariance(self, readings, perm):
+        from repro.engine.batch import BatchLandmarc
+
+        est = LandmarcEstimator()
+        base = scalar_outcomes(est, readings)
+        relabeled = [r.subset_readers(list(perm)) for r in readings]
+        permuted = scalar_outcomes(est, relabeled)
+        permuted_batch = BatchLandmarc(est).estimate_outcomes(relabeled)
+        for b, p, pb in zip(base, permuted, permuted_batch):
+            if isinstance(b, ReproError):
+                assert type(p) is type(b)
+                assert type(pb) is type(b)
+                continue
+            for other in (p, pb):
+                assert not isinstance(other, ReproError)
+                assert np.allclose(
+                    np.asarray(other.position),
+                    np.asarray(b.position),
+                    atol=1e-9,
+                )
 
 
 class TestKernelValidation:

@@ -26,9 +26,13 @@ from .regen_golden import (
     build_chaos_trace,
     build_masked_trace,
     build_paper_trace,
+    build_trace_fig6,
+    build_trace_serve,
+    chaos_result_docs,
     masked_readings,
     paper_estimator,
     paper_readings,
+    run_chaos_session,
 )
 
 
@@ -130,3 +134,51 @@ class TestBatchMatchesGolden:
         forward = _batch_entries(est, readings)
         backward = _batch_entries(est, list(reversed(readings)))
         assert forward == list(reversed(backward))
+
+
+class TestSpanTracesMatchGolden:
+    """The logical span forest is as byte-stable as the numbers.
+
+    These fixtures pin *decisions*, not just answers: ladder levels,
+    degradation reasons, batch flush composition, cache hit/miss deltas
+    and per-tag threshold selection. Any control-flow change in the
+    pipeline shows up here as a readable tree diff rather than a silent
+    behavioural shift.
+    """
+
+    def test_trace_serve(self):
+        assert build_trace_serve() == _load("trace_serve.json")
+
+    def test_trace_fig6(self):
+        assert build_trace_fig6() == _load("trace_fig6.json")
+
+    def test_tracing_does_not_perturb_results(self):
+        """An enabled tracer must be answer-invisible: the traced chaos
+        session reproduces the *untraced* golden results bit-exactly."""
+        from repro.obs import Tracer
+
+        report = run_chaos_session(tracer=Tracer())
+        golden = _load("chaos_preset.json")
+        assert chaos_result_docs(report) == golden["results"]
+
+    def test_serve_trace_pins_ladder_decisions(self):
+        """Every serve span in the fixture carries the ladder attrs the
+        profiler consumes (level/estimator, reason when degraded)."""
+        trace = _load("trace_serve.json")
+        serve_attrs = []
+
+        def walk(doc):
+            if doc["name"] == "service.serve":
+                serve_attrs.append(doc.get("attrs", {}))
+            for child in doc.get("children", []):
+                walk(child)
+
+        for root in trace["spans"]:
+            walk(root)
+        assert serve_attrs, "fixture must contain serve spans"
+        for attrs in serve_attrs:
+            if attrs.get("failed"):
+                assert attrs["reason"] == "no_reading"
+            else:
+                assert attrs["level"] in (1, 2, 3, 4)
+                assert isinstance(attrs["estimator"], str)

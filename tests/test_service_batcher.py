@@ -95,7 +95,7 @@ class TestAccounting:
         b.poll(0.0)
         assert metrics.get("batcher_requests_total").value == 1
         assert metrics.get("batcher_flushes_size_total").value == 1
-        assert metrics.get("batcher_batch_size").count == 1
+        assert metrics.get("batcher_batch_size_requests").count == 1
 
 
 class TestValidation:

@@ -157,3 +157,81 @@ class TestStructuredLogging:
         with caplog.at_level(logging.ERROR, logger=logger.name):
             log_event(logger, "noisy", level=logging.DEBUG)
         assert not caplog.records
+
+
+class TestNamingConventions:
+    """Regression tests for the metric naming audit.
+
+    Conventions (enforced here so drift fails loudly): every exported
+    name carries the ``repro_`` namespace exactly once; counters end in
+    ``_total``; histograms and gauges carry a unit/kind suffix
+    (``_seconds``, ``_requests``, ``_ratio``, ``_depth``, ...); and
+    re-registration — two pipeline components, or a resumed session
+    re-creating its pipeline over the same registry — never mints a
+    duplicate or a ``repro_repro_*`` name.
+    """
+
+    GAUGE_SUFFIXES = ("_ratio", "_depth", "_requests", "_seconds", "_bytes")
+    HISTOGRAM_SUFFIXES = ("_seconds", "_requests", "_bytes")
+
+    @staticmethod
+    def _session_registry():
+        from tests.regen_golden import run_chaos_session
+
+        return run_chaos_session().metrics
+
+    def test_every_service_metric_follows_the_conventions(self):
+        registry = self._session_registry()
+        names = [m.name for m in registry]
+        assert names, "the chaos session must register metrics"
+        for metric in registry:
+            name = metric.name
+            assert name.startswith("repro_"), name
+            assert not name.startswith("repro_repro_"), name
+            if metric.kind == "counter":
+                assert name.endswith("_total"), name
+            elif metric.kind == "histogram":
+                assert name.endswith(self.HISTOGRAM_SUFFIXES), name
+            else:
+                assert metric.kind == "gauge"
+                assert not name.endswith("_total"), name
+                assert name.endswith(self.GAUGE_SUFFIXES), name
+
+    def test_exposition_has_no_duplicate_type_lines(self):
+        registry = self._session_registry()
+        text = registry.render_prometheus()
+        type_lines = [
+            line for line in text.splitlines() if line.startswith("# TYPE ")
+        ]
+        assert len(type_lines) == len(set(type_lines))
+
+    def test_prefix_is_applied_exactly_once(self):
+        registry = MetricsRegistry()
+        plain = registry.counter("service_requests_total")
+        # A component re-registering a metric under its *full* name (the
+        # session-resume path) must get the same object back, not a
+        # repro_repro_* duplicate.
+        assert registry.counter("repro_service_requests_total") is plain
+        assert [m.name for m in registry] == ["repro_service_requests_total"]
+
+    def test_two_components_share_one_registry_cleanly(self):
+        from repro.service.batcher import MicroBatcher
+
+        registry = MetricsRegistry()
+        first = MicroBatcher(metrics=registry)
+        second = MicroBatcher(metrics=registry)  # e.g. pipeline rebuilt on resume
+        assert second is not first
+        names = [m.name for m in registry]
+        assert len(names) == len(set(names))
+        assert "repro_batcher_batch_size_requests" in names
+
+    def test_obs_stage_histograms_join_the_same_namespace(self):
+        from repro.obs import Tracer
+
+        registry = MetricsRegistry()
+        tracer = Tracer(metrics=registry)
+        with tracer.span("vire.estimate"):
+            pass
+        hist = registry.get("obs_stage_vire_estimate_latency_seconds")
+        assert hist.name == "repro_obs_stage_vire_estimate_latency_seconds"
+        assert hist.name.endswith("_seconds")
