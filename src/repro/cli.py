@@ -158,6 +158,12 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--json", action="store_true",
                      help="print the deterministic witness document "
                           "(CI recovery smoke)")
+    srv.add_argument("--zones", type=int, default=None, metavar="N",
+                     help="run N shared-nothing zones behind the gateway "
+                          "(repro.zones; see docs/ZONES.md)")
+    srv.add_argument("--parallel", action="store_true",
+                     help="with --zones: one process per zone "
+                          "(bit-identical to the serial lockstep)")
 
     cha = sub.add_parser(
         "chaos", help="streaming service under an injected fault plan"
@@ -362,6 +368,10 @@ def _cmd_serve(args) -> str:
         cache_enabled=not args.no_cache,
         cache_quantization_db=args.quantization_db,
     )
+    if args.zones is not None:
+        return _cmd_serve_zones(args, config)
+    if args.parallel:
+        raise ConfigurationError("--parallel requires --zones N")
     scenario = paper_scenario(args.env, n_trials=1, base_seed=args.seed)
     service = LocalizationService(config)
     crash_point = None
@@ -449,6 +459,75 @@ def _cmd_serve(args) -> str:
             f"  checkpoint           {s['checkpoint_results_logged']:.0f} "
             f"results logged, {s['checkpoint_snapshots']:.0f} snapshot(s) "
             f"-> {args.checkpoint}"
+        )
+    if args.prometheus:
+        lines += ["", report.render_prometheus()]
+    return "\n".join(lines)
+
+
+def _cmd_serve_zones(args, config) -> str:
+    """``serve --zones N``: the scaled site through the zone gateway."""
+    import json as _json
+
+    from .zones import ZoneGateway, scaled_site_plan
+
+    if args.zones < 1:
+        raise ConfigurationError(f"--zones must be >= 1, got {args.zones}")
+    for flag, name in (
+        (args.checkpoint, "--checkpoint"),
+        (args.resume, "--resume"),
+        (args.kill_at, "--kill-at"),
+    ):
+        if flag:
+            raise ConfigurationError(
+                f"{name} is not supported with --zones: the gateway owns "
+                f"one checkpoint file per zone (use the repro.zones API "
+                f"with checkpoint_dir for multi-zone crash recovery)"
+            )
+    plan = scaled_site_plan(args.env, args.zones, seed=args.seed)
+    gateway = ZoneGateway(plan, config)
+    quiet = args.quiet or args.json
+    if not quiet:
+        print(
+            f"serving {args.env} x {args.zones} zones for "
+            f"{args.duration:g}s (seed {args.seed}"
+            f"{', parallel' if args.parallel else ''}):"
+        )
+    with _graceful_sigterm():
+        report = gateway.run(args.duration, parallel=args.parallel)
+
+    if args.json:
+        # Deterministic witness only: two seeded runs must print
+        # byte-identical JSON (CI zone-smoke job).
+        doc = report.witness_document()
+        doc["env"] = args.env
+        doc["seed"] = args.seed
+        doc["duration_s"] = args.duration
+        doc["zones_requested"] = args.zones
+        return _json.dumps(doc, sort_keys=True, indent=2)
+
+    s = report.summary
+    lines = [
+        "",
+        f"site summary ({args.env} x {int(s['zones'])} zones, "
+        f"seed {args.seed}):",
+        f"  requests served      {s['results']:.0f}"
+        f"  (failed {s['failed']:.0f})",
+        f"  degraded requests    {s['degraded']:.0f}",
+        f"  handoffs             {s['handoffs']:.0f}",
+        f"  records streamed     {s['records_streamed']:.0f}",
+        f"  throughput           {s['localizations_per_s']:.1f} "
+        f"localizations/s (wall {s['wall_time_s']:.2f}s)",
+    ]
+    if "interrupted" in s:
+        lines.append("  shutdown             graceful (interrupted; "
+                     "all zones drained)")
+    for zid, zreport in report.zones.items():
+        zs = zreport.summary
+        lines.append(
+            f"  zone {zid:8s} results {zs['results']:.0f} "
+            f"(degraded {zs['degraded']:.0f}, failed {zs['failed']:.0f}), "
+            f"mean error {zreport.mean_error_m:.3f} m"
         )
     if args.prometheus:
         lines += ["", report.render_prometheus()]

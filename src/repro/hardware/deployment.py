@@ -66,6 +66,7 @@ def build_paper_deployment(
     grid: ReferenceGrid | None = None,
     tracking_tags: Mapping[str, tuple[float, float]] | None = None,
     reader_margin_m: float = 1.0,
+    reader_positions: Iterable[tuple[float, float]] | None = None,
     tag_spec: TagSpec = NEW_EQUIPMENT,
     smoothing: SmoothingSpec | None = None,
     tracking_smoothing: SmoothingSpec | None = None,
@@ -87,11 +88,27 @@ def build_paper_deployment(
         ground truth.
     reader_margin_m:
         Clearance of the corner readers beyond the grid (paper: 1 m).
+    reader_positions:
+        Explicit reader coordinates, overriding the four-corner layout.
+        Used by merged multi-room deployments (``repro.zones``) where
+        readers sit at each room's corners rather than the site's. Must
+        not coincide with any reference-lattice point (the channel
+        refuses zero-length tag→reader segments).
     seed:
         Controls the frozen channel world *and* per-reading randomness.
     """
     grid = grid or paper_testbed_grid()
-    reader_pos = corner_reader_positions(grid, margin=reader_margin_m)
+    if reader_positions is not None:
+        reader_pos = np.asarray(
+            [[float(p[0]), float(p[1])] for p in reader_positions],
+            dtype=np.float64,
+        )
+        if reader_pos.ndim != 2 or reader_pos.shape[0] < 1:
+            raise ConfigurationError(
+                "reader_positions must contain at least one (x, y) pair"
+            )
+    else:
+        reader_pos = corner_reader_positions(grid, margin=reader_margin_m)
     for pos in reader_pos:
         if not environment.room.contains(pos, pad=1e-9):
             raise ConfigurationError(

@@ -47,6 +47,7 @@ __all__ = [
     "CheckpointWriter",
     "CheckpointState",
     "load_checkpoint",
+    "validate_header",
     "jsonable",
 ]
 
@@ -190,6 +191,28 @@ class CheckpointState:
     def t_cut(self) -> float:
         """Simulated time of the consistency cut."""
         return float(self.snapshot["t"])
+
+
+def validate_header(
+    restored: CheckpointState, expected: Mapping[str, Any]
+) -> None:
+    """Refuse to resume a checkpoint against a different world.
+
+    Every key of ``expected`` must match the loaded header after
+    :func:`jsonable` normalization. The identity keys include the
+    session's ``zone`` (``None`` for unzoned sessions), so a zone
+    worker's checkpoint can never resume into a different zone — the
+    two zones are independent seeded worlds and replay against the
+    wrong one would silently produce garbage.
+    """
+    for key, want in expected.items():
+        got = restored.header.get(key)
+        if jsonable(got) != jsonable(want):
+            raise CheckpointError(
+                f"checkpoint header mismatch on {key!r}: checkpoint has "
+                f"{got!r}, this session has {want!r} — refusing to "
+                f"resume against a different world"
+            )
 
 
 def load_checkpoint(path: str | os.PathLike) -> CheckpointState:

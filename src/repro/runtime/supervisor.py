@@ -39,6 +39,7 @@ fallbacks are counted through an optional (duck-typed)
 from __future__ import annotations
 
 import concurrent.futures
+import signal
 import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Sequence, TypeVar
@@ -58,6 +59,23 @@ _LOGGER_NAME = "repro.runtime"
 # Timeout classes differ across Python versions (concurrent.futures got
 # its own before 3.11 aliased it to the builtin); catch both.
 _TIMEOUT_ERRORS = (concurrent.futures.TimeoutError, TimeoutError)
+
+
+def _worker_init() -> None:
+    """Restore default SIGTERM handling inside pool workers.
+
+    Forked workers inherit the parent's signal handlers; the CLI maps
+    SIGTERM to ``KeyboardInterrupt`` for graceful shutdown, which — if
+    inherited — turns :meth:`SupervisedPool.close`'s ``terminate()``
+    into an exception raised inside ``multiprocessing``'s queue lock
+    (noisy tracebacks, and a deadlock if the dying worker holds the
+    call-queue lock). Workers must die quietly on SIGTERM.
+    """
+
+    try:
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    except ValueError:  # pragma: no cover - non-main thread
+        pass
 
 
 class SupervisedPool:
@@ -135,7 +153,9 @@ class SupervisedPool:
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers, initializer=_worker_init
+            )
         return self._pool
 
     def _kill_pool(self) -> None:

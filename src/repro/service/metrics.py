@@ -203,16 +203,40 @@ class Histogram:
         return f"Histogram({self.name}, count={self.count}, sum={self._sum:g})"
 
 
+def _sanitize_zone(zone: str) -> str:
+    """Zone identifiers become metric-name-safe label segments.
+
+    Anything outside ``[a-zA-Z0-9_:]`` maps to ``_`` so a zone id like
+    ``"floor-2/east"`` still yields a valid Prometheus name.
+    """
+    safe = "".join(c if c in _METRIC_NAME_OK else "_" for c in str(zone))
+    if not safe:
+        raise ConfigurationError(f"zone id {zone!r} sanitizes to nothing")
+    return safe
+
+
 class MetricsRegistry:
     """Owns a namespace of metrics and renders the text exposition.
 
     Metrics are created idempotently: asking twice for the same name
     returns the same object (with a type check), so pipeline components
     can each grab handles without coordinating construction order.
+
+    ``zone`` widens the namespace to ``<namespace>_zone_<zone>`` so
+    several zone workers co-resident in one process (or one merged
+    exposition) can register the same logical metric without colliding:
+    two zones' ``service_results_total`` render as
+    ``repro_zone_a_service_results_total`` and
+    ``repro_zone_b_service_results_total``.
     """
 
-    def __init__(self, namespace: str = "repro"):
-        self.namespace = _check_name(namespace) if namespace else ""
+    def __init__(self, namespace: str = "repro", *, zone: str | None = None):
+        base = _check_name(namespace) if namespace else ""
+        self.zone = str(zone) if zone is not None else None
+        if zone is not None:
+            prefix = f"zone_{_sanitize_zone(zone)}"
+            base = f"{base}_{prefix}" if base else prefix
+        self.namespace = _check_name(base) if base else ""
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
 
     def _full(self, name: str) -> str:

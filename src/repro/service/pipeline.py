@@ -914,6 +914,27 @@ class ServicePipeline:
                 )
         log_event(self._logger, "replay_verified")
 
+    # -- zone handoff --------------------------------------------------------
+
+    def last_estimate(self, tag_id: str) -> tuple[float, float] | None:
+        """The tag's last served position (level-4 ladder memory), if any."""
+        return self._last_estimate.get(str(tag_id))
+
+    def transfer_last_estimate(
+        self, tag_id: str, position: tuple[float, float]
+    ) -> None:
+        """Seed the level-4 ladder memory for ``tag_id`` from outside.
+
+        Used by the zone gateway's handoff protocol: when a moving tag
+        crosses a zone boundary, the receiving zone inherits the sending
+        zone's last estimate (re-expressed in the receiver's frame) so a
+        reading gap right after the crossing still answers from
+        last-known instead of failing outright.
+        """
+        self._last_estimate[str(tag_id)] = (
+            float(position[0]), float(position[1])
+        )
+
     # -- reporting -----------------------------------------------------------
 
     @property

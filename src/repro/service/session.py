@@ -38,6 +38,7 @@ from ..runtime.checkpoint import (
     CheckpointWriter,
     jsonable,
     load_checkpoint,
+    validate_header,
 )
 from ..obs import NULL_TRACER, Tracer, current_tracer, use_tracer
 from ..types import estimation_error
@@ -459,6 +460,7 @@ class LocalizationService:
             "scenario": getattr(scenario, "name", None),
             "environment": getattr(environment, "name", None),
             "seed": getattr(scenario, "base_seed", None),
+            "zone": None,  # unzoned session; ZoneWorker writes its zone id
             "tags": list(tag_ids),
             "duration_s": float(duration_s),
             "query_interval_s": float(self.config.query_interval_s),
@@ -469,15 +471,12 @@ class LocalizationService:
     def _validate_header(
         restored: CheckpointState, header: Mapping[str, Any]
     ) -> None:
-        """Refuse to resume a checkpoint against a different world."""
-        for key, expected in header.items():
-            got = restored.header.get(key)
-            if jsonable(got) != jsonable(expected):
-                raise CheckpointError(
-                    f"checkpoint header mismatch on {key!r}: checkpoint has "
-                    f"{got!r}, this session has {expected!r} — refusing to "
-                    f"resume against a different world"
-                )
+        """Refuse to resume a checkpoint against a different world.
+
+        Thin alias of :func:`repro.runtime.checkpoint.validate_header`
+        (kept for callers that monkeypatch or subclass the service).
+        """
+        validate_header(restored, header)
 
     # -- internals -----------------------------------------------------------
 

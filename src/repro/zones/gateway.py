@@ -1,0 +1,485 @@
+"""The single front door over many shared-nothing zones.
+
+:class:`ZoneGateway` owns a :class:`~repro.zones.spec.ZonePlan` and runs
+one :class:`~repro.zones.worker.ZoneWorker` per zone, presenting the
+whole site as one service:
+
+* **Routing** — a tag position is assigned to a zone by coarse
+  reader-set proximity (:meth:`ZonePlan.detect_zone`): the zone whose
+  reader constellation is nearest owns the tag. Initial assignments are
+  traced as ``gateway.route`` events.
+* **Aggregation** — per-zone metrics (already namespaced
+  ``repro_zone_<id>_*``), summaries and witnesses are collected into one
+  :class:`MultiZoneReport`; zone traces nest under the gateway's ambient
+  tracer.
+* **Handoff** — roaming tags cross zone boundaries through a
+  deterministic protocol executed at chunk boundaries: evaluated in
+  sorted tag order on the gateway's relative clock (``τ = k·step``),
+  the old owner deactivates, the last estimate is re-expressed
+  old-local -> site -> new-local and seeded into the receiver's ladder
+  (:meth:`ZoneWorker.transfer_estimate`), and the new owner moves and
+  activates its copy. Every crossing is a ``gateway.handoff`` span and a
+  :class:`HandoffEvent` in the report. The protocol never consults
+  wall-clock or estimator internals, so it behaves identically while a
+  zone is mid-degradation or has readers open-circuit.
+
+Execution modes:
+
+* **serial lockstep** (default) — workers sorted by zone id, one chunk
+  each per iteration; required for roaming plans (handoff needs all
+  zones at the same τ) and byte-reproducible run to run.
+* **parallel** — non-roaming plans fan out one process per zone through
+  :class:`~repro.runtime.supervisor.SupervisedPool`; shared-nothing by
+  construction, bit-identical to the serial mode.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from ..exceptions import ConfigurationError
+from ..obs import Tracer, current_tracer, use_tracer
+from ..service.metrics import get_service_logger, log_event
+from ..service.pipeline import ServiceConfig
+from ..service.session import SessionReport
+from .spec import RoamingTag, ZonePlan, ZoneSpec, slice_fault_plan
+from .worker import ZoneTask, ZoneWorker, run_zone
+
+__all__ = ["HandoffEvent", "MultiZoneReport", "ZoneGateway"]
+
+
+@dataclass(frozen=True)
+class HandoffEvent:
+    """One roaming-tag crossing, in site-frame terms.
+
+    ``carried_estimate`` is the sending zone's last estimate for the tag
+    re-expressed in site coordinates (``None`` when the sender had never
+    localized it — the receiver then starts cold).
+    """
+
+    t_rel_s: float
+    tag: str
+    from_zone: str
+    to_zone: str
+    position: tuple[float, float]
+    carried_estimate: tuple[float, float] | None
+
+
+@dataclass(frozen=True)
+class MultiZoneReport:
+    """Everything a multi-zone run produced, zone by zone.
+
+    Attributes
+    ----------
+    zones:
+        Zone id -> that zone's :class:`SessionReport`, in zone-id order.
+    handoffs:
+        Every :class:`HandoffEvent`, in protocol execution order.
+    summary:
+        Site-level totals over the per-zone summaries.
+    """
+
+    zones: Mapping[str, SessionReport]
+    handoffs: tuple[HandoffEvent, ...] = ()
+    summary: Mapping[str, float] = field(default_factory=dict)
+
+    def witness_document(self) -> dict[str, Any]:
+        """The multi-zone determinism witness, as JSON types.
+
+        Per-zone witnesses under their zone ids plus the handoff trail —
+        a seeded plan run twice (or serial vs parallel, or crash-resumed)
+        must produce a byte-identical ``json.dumps(..., sort_keys=True)``
+        of this document.
+        """
+        return {
+            "zones": {
+                zid: report.witness_document()
+                for zid, report in self.zones.items()
+            },
+            "handoffs": [
+                {
+                    "t_rel_s": float(h.t_rel_s),
+                    "tag": h.tag,
+                    "from_zone": h.from_zone,
+                    "to_zone": h.to_zone,
+                    "position": [float(h.position[0]), float(h.position[1])],
+                    "carried_estimate": (
+                        None if h.carried_estimate is None
+                        else [
+                            float(h.carried_estimate[0]),
+                            float(h.carried_estimate[1]),
+                        ]
+                    ),
+                }
+                for h in self.handoffs
+            ],
+            "n_zones": len(self.zones),
+            "n_results": sum(
+                len(r.results) for r in self.zones.values()
+            ),
+        }
+
+    def render_prometheus(self) -> str:
+        """All zones' metrics, concatenated (names never collide)."""
+        return "\n".join(
+            report.render_prometheus() for report in self.zones.values()
+        )
+
+
+class ZoneGateway:
+    """Runs a :class:`ZonePlan` as one site-wide localization service.
+
+    Parameters
+    ----------
+    plan:
+        The validated zone partition plus roaming tags.
+    config:
+        Service knobs applied to every zone (per-zone ``spec.vire``
+        overrides still win inside each worker).
+    fault_plan:
+        The **site** fault plan; each zone injects its slice
+        (:func:`~repro.zones.spec.slice_fault_plan` — ``"z1/reader-0"``
+        targets zone ``z1`` only, unprefixed targets hit every zone).
+    checkpoint_dir:
+        Directory receiving one WAL file per zone (``<zone_id>.ckpt``).
+    """
+
+    def __init__(
+        self,
+        plan: ZonePlan,
+        config: ServiceConfig | None = None,
+        *,
+        fault_plan=None,
+        checkpoint_dir: str | None = None,
+        warmup_max_s: float = 120.0,
+        perf_clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.plan = plan
+        self.config = config or ServiceConfig()
+        self.fault_plan = fault_plan
+        self.checkpoint_dir = checkpoint_dir
+        self.warmup_max_s = float(warmup_max_s)
+        self._perf_clock = perf_clock
+        self._logger = get_service_logger()
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _checkpoint_path(self, zone_id: str) -> str | None:
+        if self.checkpoint_dir is None:
+            return None
+        import os
+
+        return os.path.join(self.checkpoint_dir, f"{zone_id}.ckpt")
+
+    def _owner_at(self, tag: RoamingTag, t_rel_s: float) -> ZoneSpec:
+        return self.plan.detect_zone(tag.position_at(t_rel_s))
+
+    # -- the run ---------------------------------------------------------------
+
+    def run(
+        self,
+        duration_s: float,
+        *,
+        parallel: bool = False,
+        max_workers: int | None = None,
+        resume: bool = False,
+        tracer: Tracer | None = None,
+    ) -> MultiZoneReport:
+        """Run every zone for ``duration_s`` simulated seconds.
+
+        Serial lockstep by default; ``parallel=True`` fans non-roaming
+        plans out across processes (bit-identical results — the zones
+        are shared-nothing). ``resume=True`` resumes every zone from its
+        checkpoint file in ``checkpoint_dir``.
+        """
+        if parallel and self.plan.roaming:
+            raise ConfigurationError(
+                "roaming tags require serial lockstep execution: handoff "
+                "is evaluated with all zones at the same relative time; "
+                "run with parallel=False"
+            )
+        if parallel and tracer is not None:
+            raise ConfigurationError(
+                "tracing is not supported in parallel mode (spans cannot "
+                "cross process boundaries deterministically)"
+            )
+        if resume and self.checkpoint_dir is None:
+            raise ConfigurationError("resume=True requires a checkpoint_dir")
+        if parallel:
+            return self._run_parallel(duration_s, max_workers, resume)
+        return self._run_serial(duration_s, resume, tracer)
+
+    # -- parallel fan-out --------------------------------------------------------
+
+    def _run_parallel(
+        self,
+        duration_s: float,
+        max_workers: int | None,
+        resume: bool,
+    ) -> MultiZoneReport:
+        from ..runtime.supervisor import SupervisedPool
+
+        zones = sorted(self.plan.zones, key=lambda z: z.zone_id)
+        tasks = [
+            ZoneTask(
+                spec=spec,
+                config=self.config,
+                duration_s=float(duration_s),
+                fault_plan=self.fault_plan,
+                checkpoint_path=self._checkpoint_path(spec.zone_id),
+                resume=resume,
+                warmup_max_s=self.warmup_max_s,
+            )
+            for spec in zones
+        ]
+        wall_start = self._perf_clock()
+        workers = max_workers or len(zones)
+        log_event(
+            self._logger, "gateway_parallel_start",
+            zones=len(zones), workers=workers, duration=duration_s,
+        )
+        with SupervisedPool(workers) as pool:
+            reports = pool.map(run_zone, tasks)
+        wall_s = self._perf_clock() - wall_start
+        by_zone = {
+            spec.zone_id: report for spec, report in zip(zones, reports)
+        }
+        return self._assemble(by_zone, (), wall_s, interrupted=False)
+
+    # -- serial lockstep -----------------------------------------------------------
+
+    def _run_serial(
+        self,
+        duration_s: float,
+        resume: bool,
+        tracer: Tracer | None,
+    ) -> MultiZoneReport:
+        step = self.config.stream_step_s
+        zones = sorted(self.plan.zones, key=lambda z: z.zone_id)
+        wall_start = self._perf_clock()
+
+        # The gateway's relative clock: τ = k·step since query start,
+        # shared by every zone regardless of their (per-seed) warm-up
+        # lengths. Gateway spans are stamped with τ.
+        tau = 0.0
+        if tracer is not None and tracer.clock is None:
+            tracer.clock = lambda: tau
+        scope = use_tracer(tracer) if tracer is not None else _null_scope()
+
+        workers: dict[str, ZoneWorker] = {}
+        owner: dict[str, str] = {}
+        handoffs: list[HandoffEvent] = []
+        interrupted = False
+        with scope:
+            gateway_tracer = current_tracer()
+            for spec in zones:
+                workers[spec.zone_id] = ZoneWorker(
+                    spec,
+                    self.config,
+                    fault_plan=(
+                        slice_fault_plan(self.fault_plan, spec.zone_id)
+                        if self.fault_plan is not None else None
+                    ),
+                    roaming_tags={
+                        tag.label: spec.clamp_local(tag.position_at(0.0))
+                        for tag in self.plan.roaming
+                    },
+                    checkpoint_path=self._checkpoint_path(spec.zone_id),
+                    resume=resume,
+                    perf_clock=self._perf_clock,
+                    warmup_max_s=self.warmup_max_s,
+                )
+            log_event(
+                self._logger, "gateway_serial_start",
+                zones=len(zones), duration=duration_s,
+                roaming=len(self.plan.roaming),
+            )
+            try:
+                for worker in workers.values():
+                    self._worker_scope(worker, tracer, worker.start, duration_s)
+
+                # Initial routing: each roaming tag activates in (only)
+                # the zone owning its t=0 position.
+                for tag in sorted(self.plan.roaming, key=lambda t: t.label):
+                    spec = self._owner_at(tag, 0.0)
+                    owner[tag.label] = spec.zone_id
+                    gpos = tag.position_at(0.0)
+                    w = workers[spec.zone_id]
+                    self._worker_scope(
+                        w, tracer, w.move_tag,
+                        tag.label, spec.clamp_local(gpos),
+                    )
+                    self._worker_scope(w, tracer, w.activate_tag, tag.label)
+                    gateway_tracer.event(
+                        "gateway.route",
+                        tag=tag.label, zone=spec.zone_id,
+                        x=float(gpos[0]), y=float(gpos[1]),
+                    )
+
+                exhausted = False
+                while not exhausted:
+                    tau += step
+                    # Handoff protocol at the chunk boundary: ownership
+                    # is re-evaluated *before* the chunk covering
+                    # (τ-step, τ] is processed, in sorted tag order.
+                    for tag in sorted(
+                        self.plan.roaming, key=lambda t: t.label
+                    ):
+                        self._route_tag(
+                            tag, tau, owner, workers, handoffs,
+                            gateway_tracer, tracer,
+                        )
+                    for worker in workers.values():
+                        served = self._worker_scope(
+                            worker, tracer, worker.step
+                        )
+                        if served is None:
+                            exhausted = True
+            except KeyboardInterrupt:
+                interrupted = True
+                for worker in workers.values():
+                    worker.interrupt()
+                log_event(
+                    self._logger, "gateway_interrupted",
+                    tau=tau, zones=len(zones),
+                )
+            reports = {
+                zid: self._worker_scope(workers[zid], tracer, workers[zid].finish)
+                for zid in sorted(workers)
+            }
+        wall_s = self._perf_clock() - wall_start
+        return self._assemble(
+            reports, tuple(handoffs), wall_s, interrupted=interrupted
+        )
+
+    def _route_tag(
+        self,
+        tag: RoamingTag,
+        tau: float,
+        owner: dict[str, str],
+        workers: dict[str, ZoneWorker],
+        handoffs: list[HandoffEvent],
+        gateway_tracer,
+        tracer: Tracer | None,
+    ) -> None:
+        """Evaluate one roaming tag's ownership at τ; hand off if it moved."""
+        gpos = tag.position_at(tau)
+        new_spec = self.plan.detect_zone(gpos)
+        old_id = owner[tag.label]
+        new_id = new_spec.zone_id
+        if new_id == old_id:
+            # Owner unchanged: just track the motion inside the zone.
+            w = workers[old_id]
+            self._worker_scope(
+                w, tracer, w.move_tag,
+                tag.label, w.spec.clamp_local(gpos),
+            )
+            return
+        old = workers[old_id]
+        new = workers[new_id]
+        with gateway_tracer.span(
+            "gateway.handoff",
+            tag=tag.label, t_rel_s=float(tau),
+            from_zone=old_id, to_zone=new_id,
+        ) as span:
+            self._worker_scope(old, tracer, old.deactivate_tag, tag.label)
+            carried_local = self._worker_scope(
+                old, tracer, old.last_estimate, tag.label
+            )
+            carried_global = (
+                None if carried_local is None
+                else old.spec.to_global(carried_local)
+            )
+            local = new.spec.clamp_local(gpos)
+            self._worker_scope(new, tracer, new.move_tag, tag.label, local)
+            if carried_global is not None:
+                self._worker_scope(
+                    new, tracer, new.transfer_estimate,
+                    tag.label, new.spec.to_local(carried_global),
+                )
+            self._worker_scope(new, tracer, new.activate_tag, tag.label)
+            span.set("carried", carried_global is not None)
+        owner[tag.label] = new_id
+        handoffs.append(
+            HandoffEvent(
+                t_rel_s=float(tau),
+                tag=tag.label,
+                from_zone=old_id,
+                to_zone=new_id,
+                position=(float(gpos[0]), float(gpos[1])),
+                carried_estimate=carried_global,
+            )
+        )
+        log_event(
+            self._logger, "gateway_handoff",
+            tag=tag.label, tau=tau,
+            from_zone=old_id, to_zone=new_id,
+            carried=carried_global is not None,
+        )
+
+    @staticmethod
+    def _worker_scope(worker: ZoneWorker, tracer: Tracer | None, fn, *args):
+        """Call into a worker with the tracer clock on *its* sim timeline.
+
+        Each zone has its own simulation clock; spans emitted inside a
+        worker call (``zone.tick``, ``service.batch``, ...) must be
+        stamped with that zone's time, while gateway spans between calls
+        stay on the τ-clock. Swapping the shared tracer's clock around
+        each call keeps both deterministic.
+        """
+        if tracer is None:
+            return fn(*args)
+        saved = tracer.clock
+        tracer.clock = lambda: worker.simulator.now
+        try:
+            return fn(*args)
+        finally:
+            tracer.clock = saved
+
+    # -- aggregation ---------------------------------------------------------------
+
+    def _assemble(
+        self,
+        reports: Mapping[str, SessionReport],
+        handoffs: tuple[HandoffEvent, ...],
+        wall_s: float,
+        *,
+        interrupted: bool,
+    ) -> MultiZoneReport:
+        totals = {
+            "zones": float(len(reports)),
+            "handoffs": float(len(handoffs)),
+            "wall_time_s": wall_s,
+        }
+        for key in (
+            "requests", "results", "failed", "degraded",
+            "records_streamed", "checkpoint_snapshots",
+        ):
+            total = sum(
+                float(r.summary.get(key, 0.0)) for r in reports.values()
+            )
+            totals[key] = total
+        totals["localizations_per_s"] = (
+            totals["results"] / wall_s if wall_s > 0 else float("inf")
+        )
+        if interrupted:
+            totals["interrupted"] = 1.0
+        log_event(
+            self._logger, "gateway_end",
+            zones=len(reports), results=totals["results"],
+            handoffs=len(handoffs), wall_s=wall_s,
+            interrupted=interrupted,
+        )
+        return MultiZoneReport(
+            zones={zid: reports[zid] for zid in sorted(reports)},
+            handoffs=handoffs,
+            summary=totals,
+        )
+
+
+def _null_scope():
+    from contextlib import nullcontext
+
+    return nullcontext()

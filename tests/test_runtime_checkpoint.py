@@ -9,7 +9,7 @@ import pytest
 
 from repro.exceptions import CheckpointError
 from repro.runtime import CheckpointWriter, load_checkpoint
-from repro.runtime.checkpoint import FORMAT_VERSION, jsonable
+from repro.runtime.checkpoint import FORMAT_VERSION, jsonable, validate_header
 
 
 def _write_minimal(path, n_results=3, t=10.0):
@@ -171,3 +171,46 @@ class TestFsync:
             w.write_header()
             w.write_snapshot(t=1.0, results_count=0)
         assert load_checkpoint(path).t_cut == 1.0
+
+
+class TestValidateHeader:
+    def _restored(self, tmp_path, **header):
+        path = tmp_path / "c.ckpt"
+        with CheckpointWriter(path) as w:
+            w.write_header(**header)
+            w.write_snapshot(t=1.0, results_count=0, state={})
+        return load_checkpoint(path)
+
+    def test_matching_identity_passes(self, tmp_path):
+        state = self._restored(
+            tmp_path, scenario="Env1", seed=3, zone=None
+        )
+        validate_header(
+            state, {"scenario": "Env1", "seed": 3, "zone": None}
+        )
+
+    def test_mismatch_names_the_offending_key(self, tmp_path):
+        state = self._restored(tmp_path, scenario="Env1", seed=3)
+        with pytest.raises(CheckpointError, match="'seed'"):
+            validate_header(state, {"scenario": "Env1", "seed": 4})
+
+    def test_zone_identity_is_enforced(self, tmp_path):
+        # Zone A's file presented to zone B: the worlds are different
+        # seeded deployments, so the resume must refuse loudly.
+        state = self._restored(tmp_path, zone="z0", seed=3)
+        with pytest.raises(
+            CheckpointError, match="mismatch on 'zone'"
+        ) as err:
+            validate_header(state, {"zone": "z1", "seed": 3})
+        assert "'z0'" in str(err.value) and "'z1'" in str(err.value)
+
+    def test_unzoned_session_rejects_a_zoned_checkpoint(self, tmp_path):
+        state = self._restored(tmp_path, zone="z0")
+        with pytest.raises(CheckpointError, match="'zone'"):
+            validate_header(state, {"zone": None})
+
+    def test_comparison_normalizes_json_types(self, tmp_path):
+        # Tuples round-trip through JSON as lists; the check must treat
+        # them as equal rather than refusing its own header.
+        state = self._restored(tmp_path, origin=[4.5, 0.0], grid=[4, 4])
+        validate_header(state, {"origin": (4.5, 0.0), "grid": (4, 4)})

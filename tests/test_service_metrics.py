@@ -235,3 +235,51 @@ class TestNamingConventions:
         hist = registry.get("obs_stage_vire_estimate_latency_seconds")
         assert hist.name == "repro_obs_stage_vire_estimate_latency_seconds"
         assert hist.name.endswith("_seconds")
+
+
+class TestZoneNamespace:
+    def test_zone_widens_the_namespace(self):
+        registry = MetricsRegistry(zone="a")
+        counter = registry.counter("service_results_total")
+        assert counter.name == "repro_zone_a_service_results_total"
+        assert registry.namespace == "repro_zone_a"
+        assert registry.zone == "a"
+
+    def test_co_resident_zones_never_collide(self):
+        a = MetricsRegistry(zone="a")
+        b = MetricsRegistry(zone="b")
+        a.counter("service_results_total").inc(3)
+        b.counter("service_results_total").inc(7)
+        names_a = {m.name for m in a}
+        names_b = {m.name for m in b}
+        assert not names_a & names_b
+        merged = a.render_prometheus() + "\n" + b.render_prometheus()
+        assert "repro_zone_a_service_results_total 3" in merged
+        assert "repro_zone_b_service_results_total 7" in merged
+
+    def test_full_name_reregistration_stays_idempotent(self):
+        registry = MetricsRegistry(zone="a")
+        plain = registry.counter("service_requests_total")
+        # Re-registering under the already-prefixed name (the resume
+        # path) returns the same object, not a zone_a_zone_a duplicate.
+        assert (
+            registry.counter("repro_zone_a_service_requests_total") is plain
+        )
+        assert [m.name for m in registry] == [
+            "repro_zone_a_service_requests_total"
+        ]
+
+    def test_zone_ids_are_sanitized_for_prometheus(self):
+        registry = MetricsRegistry(zone="floor-2/east")
+        gauge = registry.gauge("service_queue_depth")
+        assert gauge.name == "repro_zone_floor_2_east_service_queue_depth"
+
+    def test_unsanitizable_zone_id_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="sanitizes to nothing"):
+            MetricsRegistry(zone="")
+
+    def test_unzoned_registry_is_unchanged(self):
+        registry = MetricsRegistry()
+        assert registry.zone is None
+        counter = registry.counter("service_requests_total")
+        assert counter.name == "repro_service_requests_total"

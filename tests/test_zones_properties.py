@@ -1,0 +1,42 @@
+"""Property test: a non-interfering zone partition is a no-op.
+
+The shared-nothing claim, stated as a property: for any site seed and
+duration, running N zones together through the gateway produces — zone
+by zone — exactly the witness each zone's spec produces when run alone.
+Partitioning a deployment (without roaming tags crossing boundaries)
+must never change any zone's answers.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.pipeline import ServiceConfig
+from repro.zones import ZoneGateway, ZoneWorker, scaled_site_plan
+
+pytestmark = pytest.mark.slow
+
+
+def _witness(report) -> str:
+    return json.dumps(report.witness_document(), sort_keys=True)
+
+
+class TestPartitionIsANoOp:
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        duration_s=st.sampled_from([3.0, 4.0, 5.0]),
+    )
+    @settings(max_examples=3, deadline=None)
+    def test_zones_run_together_equal_zones_run_alone(
+        self, seed, duration_s
+    ):
+        config = ServiceConfig(query_interval_s=1.0)
+        plan = scaled_site_plan("Env1", 2, seed=seed)
+        combined = ZoneGateway(plan, config).run(duration_s)
+        for spec in plan:
+            alone = ZoneWorker(spec, config).run(duration_s)
+            assert _witness(combined.zones[spec.zone_id]) == _witness(alone)
