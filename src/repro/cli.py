@@ -164,6 +164,19 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--parallel", action="store_true",
                      help="with --zones: one process per zone "
                           "(bit-identical to the serial lockstep)")
+    srv.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                     help="with --zones: one write-ahead checkpoint file "
+                          "per zone in DIR (zone respawn and --resume)")
+    srv.add_argument("--kill-zone", default=None, metavar="ZID@T",
+                     help="with --zones: crash zone ZID at simulated "
+                          "time T; the gateway respawns it from its "
+                          "checkpoint and replays the gap (CI "
+                          "zone-failover smoke)")
+    srv.add_argument("--no-failover", action="store_true",
+                     help="with --zones: bare gateway loop without the "
+                          "supervision layer (no retries, no respawn; "
+                          "bit-identical to the supervised loop on a "
+                          "fault-free run)")
 
     cha = sub.add_parser(
         "chaos", help="streaming service under an injected fault plan"
@@ -191,6 +204,20 @@ def build_parser() -> argparse.ArgumentParser:
                      help="disable partial snapshots (pre-faults behaviour)")
     cha.add_argument("--json", action="store_true",
                      help="print a deterministic JSON summary (CI smoke)")
+    cha.add_argument("--zones", type=int, default=None, metavar="N",
+                     help="run the plan through the N-zone gateway and "
+                          "add a zone-scoped control-plane fault "
+                          "(see docs/FAULTS.md)")
+    cha.add_argument("--zone-preset", default="crash",
+                     choices=["none", "crash", "hang", "partition",
+                              "brownout"],
+                     help="zone-scoped fault preset (with --zones)")
+    cha.add_argument("--zone-id", default="z0",
+                     help="target zone for --zone-preset (with --zones)")
+    cha.add_argument("--zone-fault-start", type=float, default=8.0,
+                     help="zone fault start (simulated seconds)")
+    cha.add_argument("--zone-fault-duration", type=float, default=10.0,
+                     help="zone fault window length (partition/brownout)")
 
     trc = sub.add_parser(
         "trace", help="record, summarize and diff deterministic span traces"
@@ -370,8 +397,14 @@ def _cmd_serve(args) -> str:
     )
     if args.zones is not None:
         return _cmd_serve_zones(args, config)
-    if args.parallel:
-        raise ConfigurationError("--parallel requires --zones N")
+    for flag, name in (
+        (args.parallel, "--parallel"),
+        (args.checkpoint_dir, "--checkpoint-dir"),
+        (args.kill_zone, "--kill-zone"),
+        (args.no_failover, "--no-failover"),
+    ):
+        if flag:
+            raise ConfigurationError(f"{name} requires --zones N")
     scenario = paper_scenario(args.env, n_trials=1, base_seed=args.seed)
     service = LocalizationService(config)
     crash_point = None
@@ -465,27 +498,67 @@ def _cmd_serve(args) -> str:
     return "\n".join(lines)
 
 
+def _parse_kill_zone(value: str) -> tuple[str, float]:
+    """Parse a ``--kill-zone ZID@T`` operand into ``(zone_id, at_s)``."""
+    zone_id, sep, at_text = value.partition("@")
+    if not sep or not zone_id:
+        raise ConfigurationError(
+            f"--kill-zone expects ZID@T (e.g. z1@5.0), got {value!r}"
+        )
+    try:
+        at_s = float(at_text)
+    except ValueError:
+        raise ConfigurationError(
+            f"--kill-zone time must be a number, got {at_text!r}"
+        ) from None
+    return zone_id, at_s
+
+
 def _cmd_serve_zones(args, config) -> str:
     """``serve --zones N``: the scaled site through the zone gateway."""
     import json as _json
 
+    from .faults import FaultPlan, ZoneCrashFault
     from .zones import ZoneGateway, scaled_site_plan
 
     if args.zones < 1:
         raise ConfigurationError(f"--zones must be >= 1, got {args.zones}")
     for flag, name in (
         (args.checkpoint, "--checkpoint"),
-        (args.resume, "--resume"),
         (args.kill_at, "--kill-at"),
     ):
         if flag:
             raise ConfigurationError(
                 f"{name} is not supported with --zones: the gateway owns "
-                f"one checkpoint file per zone (use the repro.zones API "
-                f"with checkpoint_dir for multi-zone crash recovery)"
+                f"one checkpoint file per zone (use --checkpoint-dir)"
             )
+    if args.resume and args.checkpoint_dir is None:
+        raise ConfigurationError(
+            "--resume with --zones requires --checkpoint-dir DIR"
+        )
+    if args.checkpoint_dir is not None:
+        import os
+
+        os.makedirs(args.checkpoint_dir, exist_ok=True)
     plan = scaled_site_plan(args.env, args.zones, seed=args.seed)
-    gateway = ZoneGateway(plan, config)
+    fault_plan = None
+    if args.kill_zone is not None:
+        zone_id, at_s = _parse_kill_zone(args.kill_zone)
+        if zone_id not in {spec.zone_id for spec in plan.zones}:
+            raise ConfigurationError(
+                f"--kill-zone targets unknown zone {zone_id!r} "
+                f"(have z0..z{args.zones - 1})"
+            )
+        fault_plan = FaultPlan(faults=(ZoneCrashFault(zone_id, at_s=at_s),))
+    gateway_kw = {}
+    if args.no_failover:
+        gateway_kw["failover"] = None
+    gateway = ZoneGateway(
+        plan, config,
+        fault_plan=fault_plan,
+        checkpoint_dir=args.checkpoint_dir,
+        **gateway_kw,
+    )
     quiet = args.quiet or args.json
     if not quiet:
         print(
@@ -494,7 +567,9 @@ def _cmd_serve_zones(args, config) -> str:
             f"{', parallel' if args.parallel else ''}):"
         )
     with _graceful_sigterm():
-        report = gateway.run(args.duration, parallel=args.parallel)
+        report = gateway.run(
+            args.duration, parallel=args.parallel, resume=args.resume
+        )
 
     if args.json:
         # Deterministic witness only: two seeded runs must print
@@ -504,6 +579,22 @@ def _cmd_serve_zones(args, config) -> str:
         doc["seed"] = args.seed
         doc["duration_s"] = args.duration
         doc["zones_requested"] = args.zones
+        # Only a faulted run earns a supervision block: the fault-free
+        # JSON stays byte-identical to --parallel and to the
+        # pre-failover gateway.
+        if fault_plan is not None and "availability" in report.summary:
+            fs = report.summary
+            doc["failover"] = {
+                "availability": round(fs["availability"], 9),
+                "zone_crashes": int(fs["zone_crashes"]),
+                "zone_respawns": int(fs["zone_respawns"]),
+                "zone_timeouts": int(fs["zone_timeouts"]),
+                "zone_link_failures": int(fs["zone_link_failures"]),
+                "zones_down": int(fs["zones_down"]),
+                "requests_shed": int(fs["requests_shed"]),
+                "handoffs_rerouted": int(fs["handoffs_rerouted"]),
+                "interim_results": int(fs["interim_results"]),
+            }
         return _json.dumps(doc, sort_keys=True, indent=2)
 
     s = report.summary
@@ -519,6 +610,21 @@ def _cmd_serve_zones(args, config) -> str:
         f"  throughput           {s['localizations_per_s']:.1f} "
         f"localizations/s (wall {s['wall_time_s']:.2f}s)",
     ]
+    if "availability" in s:
+        lines.append(
+            f"  availability         {100 * s['availability']:.2f}%  "
+            f"(crashes {s['zone_crashes']:.0f}, respawns "
+            f"{s['zone_respawns']:.0f}, zones down at end "
+            f"{s['zones_down']:.0f})"
+        )
+        if s["interim_results"] or s["requests_shed"] or \
+                s["handoffs_rerouted"]:
+            lines.append(
+                f"  degraded service     interim answers "
+                f"{s['interim_results']:.0f}, shed queries "
+                f"{s['requests_shed']:.0f}, rerouted handoffs "
+                f"{s['handoffs_rerouted']:.0f}"
+            )
     if "interrupted" in s:
         lines.append("  shutdown             graceful (interrupted; "
                      "all zones drained)")
@@ -534,6 +640,126 @@ def _cmd_serve_zones(args, config) -> str:
     return "\n".join(lines)
 
 
+def _cmd_chaos_zones(args) -> str:
+    """``chaos --zones N``: control-plane faults through the gateway.
+
+    The record-path preset still applies (unprefixed faults reach every
+    zone verbatim via :func:`slice_fault_plan`); on top of it one
+    zone-scoped fault from ``--zone-preset`` exercises the gateway's
+    failover path: crash → respawn + gap replay, hang → deadline
+    timeouts then kill, partition → fall behind and catch up,
+    brownout → admission saturation.
+    """
+    import json as _json
+
+    from .faults import (
+        FaultPlan,
+        ReaderOutageFault,
+        chaos_preset,
+        zone_chaos_preset,
+    )
+    from .service import ServiceConfig
+    from .zones import ZoneGateway, scaled_site_plan
+
+    if args.zones < 1:
+        raise ConfigurationError(f"--zones must be >= 1, got {args.zones}")
+    site = scaled_site_plan(args.env, args.zones, seed=args.seed)
+    zone_ids = {spec.zone_id for spec in site.zones}
+    if args.zone_preset != "none" and args.zone_id not in zone_ids:
+        raise ConfigurationError(
+            f"--zone-id {args.zone_id!r} is not in the site "
+            f"(have z0..z{args.zones - 1})"
+        )
+    record_plan = chaos_preset(args.preset, seed=args.seed)
+    if args.outage_reader is not None:
+        record_plan = record_plan.with_fault(
+            ReaderOutageFault(
+                reader_id=args.outage_reader,
+                start_s=args.outage_start,
+                duration_s=args.outage_duration,
+            )
+        )
+    zone_faults = zone_chaos_preset(
+        args.zone_preset,
+        zone_id=args.zone_id,
+        seed=args.seed,
+        start_s=args.zone_fault_start,
+        duration_s=args.zone_fault_duration,
+    )
+    plan = FaultPlan(
+        tuple(record_plan) + tuple(zone_faults), seed=args.seed
+    )
+    config = ServiceConfig(
+        query_interval_s=args.query_interval,
+        allow_partial=not args.strict,
+    )
+    with _graceful_sigterm():
+        report = ZoneGateway(site, config, fault_plan=plan).run(
+            args.duration
+        )
+    s = report.summary
+
+    if args.json:
+        doc = {
+            "env": args.env,
+            "seed": args.seed,
+            "zones": args.zones,
+            "preset": args.preset,
+            "zone_preset": args.zone_preset,
+            "zone_id": args.zone_id,
+            "duration_s": args.duration,
+            "faults": len(plan),
+            "requests": int(s["requests"]),
+            "results": int(s["results"]),
+            "failed": int(s["failed"]),
+            "degraded": int(s["degraded"]),
+            "availability": round(s["availability"], 9),
+            "zone_crashes": int(s["zone_crashes"]),
+            "zone_respawns": int(s["zone_respawns"]),
+            "zone_timeouts": int(s["zone_timeouts"]),
+            "zone_link_failures": int(s["zone_link_failures"]),
+            "zones_down": int(s["zones_down"]),
+            "interim_results": int(s["interim_results"]),
+            "requests_shed": int(s["requests_shed"]),
+            "handoffs_rerouted": int(s["handoffs_rerouted"]),
+            "by_zone": {
+                zid: {
+                    "results": int(z.summary["results"]),
+                    "degraded": int(z.summary["degraded"]),
+                    "mean_error_m": round(z.mean_error_m, 9),
+                }
+                for zid, z in report.zones.items()
+            },
+        }
+        return _json.dumps(doc, sort_keys=True, indent=2)
+
+    lines = [
+        f"zone chaos session ({args.env} x {args.zones} zones, "
+        f"record preset {args.preset}, zone preset {args.zone_preset} "
+        f"on {args.zone_id}, seed {args.seed}, {args.duration:g}s):",
+        f"  fault plan           {len(plan)} fault(s): {plan.describe()}",
+        f"  requests             {s['requests']:.0f}"
+        f"  (answered {s['results']:.0f}, failed {s['failed']:.0f})",
+        f"  availability         {100 * s['availability']:.2f}%",
+        f"  supervision          crashes {s['zone_crashes']:.0f}, "
+        f"respawns {s['zone_respawns']:.0f}, timeouts "
+        f"{s['zone_timeouts']:.0f}, link failures "
+        f"{s['zone_link_failures']:.0f}",
+        f"  degraded service     interim {s['interim_results']:.0f}, "
+        f"shed {s['requests_shed']:.0f}, rerouted handoffs "
+        f"{s['handoffs_rerouted']:.0f}, zones down at end "
+        f"{s['zones_down']:.0f}",
+    ]
+    for zid, zreport in report.zones.items():
+        zs = zreport.summary
+        lines.append(
+            f"  zone {zid:8s} results {zs['results']:.0f} "
+            f"(degraded {zs['degraded']:.0f}), "
+            f"mean error {zreport.mean_error_m:.3f} m"
+        )
+    return "\n".join(lines)
+
+
 def _cmd_chaos(args) -> str:
     import json as _json
 
@@ -541,6 +767,8 @@ def _cmd_chaos(args) -> str:
     from .faults import FaultPlan, ReaderOutageFault, chaos_preset
     from .service import LocalizationService, ServiceConfig
 
+    if args.zones is not None:
+        return _cmd_chaos_zones(args)
     plan = chaos_preset(args.preset, seed=args.seed)
     if args.outage_reader is not None:
         plan = plan.with_fault(

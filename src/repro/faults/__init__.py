@@ -32,9 +32,14 @@ from .models import (
     DelayFault,
     FaultModel,
     ReaderOutageFault,
+    SlowZoneFault,
     TagDeathFault,
+    WorkerHangFault,
+    ZoneCrashFault,
+    ZoneLinkLossFault,
+    is_zone_fault,
 )
-from .plan import FaultPlan, chaos_preset
+from .plan import FaultPlan, chaos_preset, zone_chaos_preset
 from .injector import FaultEvent, FaultInjector
 from .crash import CrashPoint, SimulatedCrash
 
@@ -45,8 +50,14 @@ __all__ = [
     "TagDeathFault",
     "CalibrationDriftFault",
     "DelayFault",
+    "ZoneCrashFault",
+    "WorkerHangFault",
+    "ZoneLinkLossFault",
+    "SlowZoneFault",
+    "is_zone_fault",
     "FaultPlan",
     "chaos_preset",
+    "zone_chaos_preset",
     "FaultEvent",
     "FaultInjector",
     "CrashPoint",

@@ -24,8 +24,10 @@ import heapq
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Mapping
 
+from ..exceptions import ConfigurationError
 from ..hardware.readers import ReadingRecord
 from ..utils.logging import get_structured_logger, log_event
+from .models import is_zone_fault
 from .plan import FaultPlan
 
 if TYPE_CHECKING:  # service-layer type only; no runtime dependency
@@ -63,6 +65,13 @@ class FaultInjector:
     """
 
     def __init__(self, plan: FaultPlan, *, metrics: "MetricsRegistry | None" = None):
+        for fault in plan:
+            if is_zone_fault(fault):
+                raise ConfigurationError(
+                    f"{type(fault).__name__} is a zone-scoped control-plane "
+                    f"fault; it is consumed by the zone gateway "
+                    f"(repro.zones.failover), not the record-path injector"
+                )
         self.plan = plan
         self._faults = plan.compile()
         self._logger = get_structured_logger(_LOGGER_NAME)

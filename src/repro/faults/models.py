@@ -41,6 +41,12 @@ __all__ = [
     "TagDeathFault",
     "CalibrationDriftFault",
     "DelayFault",
+    "ZONE_SCOPE",
+    "ZoneCrashFault",
+    "WorkerHangFault",
+    "ZoneLinkLossFault",
+    "SlowZoneFault",
+    "is_zone_fault",
 ]
 
 #: Callback signature used by compiled faults to report transitions.
@@ -456,3 +462,188 @@ class _CompiledDelay:
         if m.jitter_s > 0.0:
             delay += float(self._rng.uniform(0.0, m.jitter_s))
         return [(now_s + delay, record)]
+
+
+# ---------------------------------------------------------------------------
+# Zone-scoped control-plane faults (consumed by the zone gateway)
+# ---------------------------------------------------------------------------
+
+#: ``scope`` value marking a fault as *control-plane*: it disturbs the
+#: gateway→worker call path of one zone, never the record stream. The
+#: record-path machinery (:class:`~repro.faults.injector.FaultInjector`,
+#: :func:`~repro.zones.spec.slice_fault_plan`) must never apply these.
+ZONE_SCOPE = "zone"
+
+
+def is_zone_fault(fault: object) -> bool:
+    """True when ``fault`` is a zone-scoped control-plane fault."""
+    return getattr(fault, "scope", "record") == ZONE_SCOPE
+
+
+def _ensure_zone(zone_id: str) -> None:
+    if not zone_id:
+        raise ConfigurationError("zone_id must be non-empty")
+
+
+@dataclass(frozen=True)
+class ZoneCrashFault:
+    """One zone worker dies (the kill −9 of the scale-out layer).
+
+    The first gateway→worker call at relative time τ ≥ ``at_s`` finds
+    the worker dead: its process is gone, mid-write WAL state and all.
+    With failover enabled the gateway respawns the zone from its
+    checkpoint and replays the gap deterministically; with failover
+    disabled the zone stays down and the gateway serves interim
+    (``zone_down``) answers.
+
+    ``at_s`` is on the gateway's relative clock (τ = 0 at the first
+    post-warm-up chunk), matching :class:`~repro.zones.spec.RoamingTag`
+    route times.
+    """
+
+    zone_id: str
+    at_s: float
+
+    scope = ZONE_SCOPE
+
+    def __post_init__(self) -> None:
+        _ensure_zone(self.zone_id)
+        _ensure_time(self.at_s, "at_s")
+
+    def compile(self, rng: np.random.Generator) -> "_CompiledZoneCrash":
+        return _CompiledZoneCrash(self)
+
+
+class _CompiledZoneCrash:
+    def __init__(self, model: ZoneCrashFault):
+        self.model = model
+        self.fired = False
+
+    def fires_at(self, tau_s: float) -> bool:
+        """True exactly once: on the first call with τ ≥ ``at_s``."""
+        if self.fired or tau_s < self.model.at_s:
+            return False
+        self.fired = True
+        return True
+
+
+@dataclass(frozen=True)
+class WorkerHangFault:
+    """One zone worker wedges: calls block past every deadline.
+
+    From τ ≥ ``at_s`` each gateway→worker call to that *worker
+    instance* exceeds its deadline. The gateway charges the retry
+    budget (with backoff) and then treats the instance as dead — a hung
+    process cannot be un-hung, only killed and respawned. The respawned
+    instance is healthy (the hang is instance-level, like a wedged
+    event loop), which is what distinguishes this model from
+    :class:`ZoneLinkLossFault`.
+    """
+
+    zone_id: str
+    at_s: float
+
+    scope = ZONE_SCOPE
+
+    def __post_init__(self) -> None:
+        _ensure_zone(self.zone_id)
+        _ensure_time(self.at_s, "at_s")
+
+    def compile(self, rng: np.random.Generator) -> "_CompiledWorkerHang":
+        return _CompiledWorkerHang(self)
+
+
+class _CompiledWorkerHang:
+    def __init__(self, model: WorkerHangFault):
+        self.model = model
+        self.fired = False
+
+    def fires_at(self, tau_s: float) -> bool:
+        """True exactly once: on the first call with τ ≥ ``at_s``."""
+        if self.fired or tau_s < self.model.at_s:
+            return False
+        self.fired = True
+        return True
+
+
+@dataclass(frozen=True)
+class ZoneLinkLossFault:
+    """The gateway↔worker link drops for a scheduled window.
+
+    Calls during ``[start_s, start_s + duration_s)`` (relative clock)
+    fail transiently — the worker is alive but unreachable, so retries
+    inside the window keep failing. The gateway lets the zone fall
+    behind (skew) and catches it up deterministically once the link
+    returns: chunks are pulled in order from the zone's own stream, so
+    late processing changes *when* answers appear, never what they are.
+    """
+
+    zone_id: str
+    start_s: float
+    duration_s: float
+
+    scope = ZONE_SCOPE
+
+    def __post_init__(self) -> None:
+        _ensure_zone(self.zone_id)
+        _ensure_time(self.start_s, "start_s")
+        v = float(self.duration_s)
+        if not v > 0:
+            raise ConfigurationError(
+                f"duration_s must be > 0, got {self.duration_s}"
+            )
+
+    def compile(self, rng: np.random.Generator) -> "_CompiledZoneLinkLoss":
+        return _CompiledZoneLinkLoss(self)
+
+
+class _CompiledZoneLinkLoss:
+    def __init__(self, model: ZoneLinkLossFault):
+        self.model = model
+
+    def down_at(self, tau_s: float) -> bool:
+        m = self.model
+        return m.start_s <= tau_s < m.start_s + m.duration_s
+
+
+@dataclass(frozen=True)
+class SlowZoneFault:
+    """One zone runs slow for a window: calls succeed but lag.
+
+    During ``[start_s, start_s + duration_s)`` every step call to the
+    zone is ``factor``× its normal service time. The gateway marks the
+    zone *saturated* for the window — cross-zone load shedding then
+    reroutes roaming-tag handoffs away from it — but never fails the
+    calls: slow is degraded capacity, not an outage.
+    """
+
+    zone_id: str
+    start_s: float
+    duration_s: float
+    factor: float = 4.0
+
+    scope = ZONE_SCOPE
+
+    def __post_init__(self) -> None:
+        _ensure_zone(self.zone_id)
+        _ensure_time(self.start_s, "start_s")
+        if not float(self.duration_s) > 0:
+            raise ConfigurationError(
+                f"duration_s must be > 0, got {self.duration_s}"
+            )
+        if not float(self.factor) > 1.0:
+            raise ConfigurationError(
+                f"factor must be > 1, got {self.factor}"
+            )
+
+    def compile(self, rng: np.random.Generator) -> "_CompiledSlowZone":
+        return _CompiledSlowZone(self)
+
+
+class _CompiledSlowZone:
+    def __init__(self, model: SlowZoneFault):
+        self.model = model
+
+    def slow_at(self, tau_s: float) -> bool:
+        m = self.model
+        return m.start_s <= tau_s < m.start_s + m.duration_s

@@ -25,10 +25,20 @@ from .models import (
     DelayFault,
     FaultModel,
     ReaderOutageFault,
+    SlowZoneFault,
     TagDeathFault,
+    WorkerHangFault,
+    ZoneCrashFault,
+    ZoneLinkLossFault,
 )
 
-__all__ = ["FaultPlan", "chaos_preset", "CHAOS_PRESETS"]
+__all__ = [
+    "FaultPlan",
+    "chaos_preset",
+    "CHAOS_PRESETS",
+    "zone_chaos_preset",
+    "ZONE_CHAOS_PRESETS",
+]
 
 
 @dataclass(frozen=True)
@@ -194,5 +204,70 @@ def chaos_preset(
             ),
             DelayFault(reader_id="reader-2", delay_s=1.0, jitter_s=2.0),
         ],
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Zone-level chaos presets (control-plane faults for the multi-zone gateway)
+# ---------------------------------------------------------------------------
+
+ZONE_CHAOS_PRESETS = ("none", "crash", "hang", "partition", "brownout")
+
+
+def zone_chaos_preset(
+    name: str,
+    *,
+    zone_id: str = "z0",
+    seed: int = 0,
+    start_s: float = 10.0,
+    duration_s: float = 10.0,
+) -> FaultPlan:
+    """A named zone-level failure scenario for ``repro chaos --zones``.
+
+    Unlike :func:`chaos_preset` these faults live on the *control plane*
+    (the gateway→worker call path of one zone), not the record stream —
+    they are consumed by :class:`~repro.zones.failover.ZoneChannel` and
+    rejected by :class:`~repro.faults.injector.FaultInjector`.
+
+    Parameters
+    ----------
+    name:
+        ``"none"`` — empty plan (bit-identical control);
+        ``"crash"`` — one zone worker dies at ``start_s`` (kill −9);
+        ``"hang"`` — one zone worker wedges at ``start_s``;
+        ``"partition"`` — the gateway↔worker link drops for the window;
+        ``"brownout"`` — one zone runs slow for the window (triggers
+        cross-zone load shedding).
+    zone_id:
+        Which zone the fault targets.
+    seed:
+        Plan seed (zone faults are scheduled, so this only matters if
+        record-path faults are composed in afterwards).
+    start_s:
+        Relative (post-warm-up) time the fault begins.
+    duration_s:
+        Window length of ``partition``/``brownout``; ignored by the
+        one-shot ``crash``/``hang``.
+    """
+    if name not in ZONE_CHAOS_PRESETS:
+        raise ConfigurationError(
+            f"unknown zone chaos preset {name!r}; "
+            f"expected one of {ZONE_CHAOS_PRESETS}"
+        )
+    if name == "none":
+        return FaultPlan(seed=seed)
+    if name == "crash":
+        return FaultPlan([ZoneCrashFault(zone_id, at_s=start_s)], seed=seed)
+    if name == "hang":
+        return FaultPlan([WorkerHangFault(zone_id, at_s=start_s)], seed=seed)
+    if name == "partition":
+        return FaultPlan(
+            [ZoneLinkLossFault(zone_id, start_s=start_s, duration_s=duration_s)],
+            seed=seed,
+        )
+    # brownout
+    return FaultPlan(
+        [SlowZoneFault(zone_id, start_s=start_s, duration_s=duration_s)],
         seed=seed,
     )

@@ -31,13 +31,14 @@ from .checkpoint import (
     CheckpointWriter,
     load_checkpoint,
 )
-from .policy import RuntimePolicy
+from .policy import RetryPolicy, RuntimePolicy
 from .supervisor import SupervisedPool, run_shard_with_salvage, supervised_map
 
 __all__ = [
     "FORMAT_VERSION",
     "CheckpointState",
     "CheckpointWriter",
+    "RetryPolicy",
     "RuntimePolicy",
     "SupervisedPool",
     "load_checkpoint",

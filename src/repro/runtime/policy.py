@@ -8,6 +8,12 @@ sweep/process-pool side) and :class:`~repro.service.pipeline.ServiceConfig`
 the unsupervised behaviour — no wrapper objects, no extra branches on the
 hot path — so turning the feature off really is the null operation.
 
+:class:`RetryPolicy` is the shared deadline/retry/backoff vocabulary:
+one source of truth for the backoff math, consumed both by the process
+pool (:class:`~repro.runtime.supervisor.SupervisedPool`, via
+:attr:`RuntimePolicy.retry`) and by the zone gateway's supervised
+worker-call path (:class:`~repro.zones.failover.ZoneFailoverPolicy`).
+
 Determinism contract: supervision changes *scheduling*, never *answers*.
 A retried shard re-executes the same pure function over the same inputs,
 and the serial last-resort fallback runs that function in-process — so a
@@ -20,7 +26,63 @@ from dataclasses import dataclass, replace
 
 from ..exceptions import ConfigurationError
 
-__all__ = ["RuntimePolicy"]
+__all__ = ["RetryPolicy", "RuntimePolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deadline + bounded exponential backoff for one supervised call.
+
+    Parameters
+    ----------
+    deadline_s:
+        Per-call deadline in wall-clock seconds once the supervisor
+        starts waiting on it. ``None`` disables deadlines (death of the
+        callee is still supervised).
+    max_retries:
+        How many times one call may be re-attempted after a timeout or
+        callee death before the caller's last resort (serial fallback,
+        zone respawn, or :class:`~repro.exceptions.SupervisionError`)
+        takes over.
+    backoff_base_s / backoff_multiplier:
+        Exponential backoff between attempts: attempt ``k`` (1-based)
+        waits ``backoff_base_s * backoff_multiplier**(k-1)`` before the
+        retry. Callers inject the sleep, so tests pay no wall-clock.
+    """
+
+    deadline_s: float | None = None
+    max_retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigurationError(
+                f"deadline_s must be positive or None, got {self.deadline_s}"
+            )
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_base_s < 0:
+            raise ConfigurationError(
+                f"backoff_base_s must be >= 0, got {self.backoff_base_s}"
+            )
+        if self.backoff_multiplier < 1.0:
+            raise ConfigurationError(
+                f"backoff_multiplier must be >= 1, "
+                f"got {self.backoff_multiplier}"
+            )
+
+    def with_(self, **changes) -> "RetryPolicy":
+        """Modified copy (thin wrapper over dataclasses.replace)."""
+        return replace(self, **changes)
+
+    def backoff_s(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ConfigurationError(f"attempt must be >= 1, got {attempt}")
+        return self.backoff_base_s * self.backoff_multiplier ** (attempt - 1)
 
 
 @dataclass(frozen=True)
@@ -93,8 +155,22 @@ class RuntimePolicy:
         """Modified copy (thin wrapper over dataclasses.replace)."""
         return replace(self, **changes)
 
+    @property
+    def retry(self) -> RetryPolicy:
+        """This policy's deadline/retry/backoff knobs as a :class:`RetryPolicy`.
+
+        The pool-facing fields (``shard_timeout_s``, ``max_retries``,
+        ``backoff_*``) are the *same* values — this view exists so every
+        consumer of the backoff math (:class:`SupervisedPool`, the zone
+        gateway's call path) shares one implementation.
+        """
+        return RetryPolicy(
+            deadline_s=self.shard_timeout_s,
+            max_retries=self.max_retries,
+            backoff_base_s=self.backoff_base_s,
+            backoff_multiplier=self.backoff_multiplier,
+        )
+
     def backoff_s(self, attempt: int) -> float:
-        """Backoff before retry ``attempt`` (1-based)."""
-        if attempt < 1:
-            raise ConfigurationError(f"attempt must be >= 1, got {attempt}")
-        return self.backoff_base_s * self.backoff_multiplier ** (attempt - 1)
+        """Backoff before retry ``attempt`` (1-based); see :class:`RetryPolicy`."""
+        return self.retry.backoff_s(attempt)

@@ -210,7 +210,10 @@ class SupervisedPool:
         futures: dict[int, concurrent.futures.Future],
         attempts: list[int],
     ) -> R:
-        timeout = self.policy.shard_timeout_s
+        # One source of truth for deadline/retry/backoff math: the
+        # RetryPolicy view shared with the zone gateway's call path.
+        retry = self.policy.retry
+        timeout = retry.deadline_s
         while True:
             future = futures[i]
             try:
@@ -242,7 +245,7 @@ class SupervisedPool:
             # Any other exception propagates: fn is deterministic, so the
             # serial path would raise the identical error.
 
-            if attempts[i] > self.policy.max_retries:
+            if attempts[i] > retry.max_retries:
                 return self._serial_fallback(i, fn, items[i])
             self.retries += 1
             if self._c_retries is not None:
@@ -250,7 +253,7 @@ class SupervisedPool:
             current_tracer().event(
                 "runtime.retry", task=i, attempt=attempts[i]
             )
-            backoff = self.policy.backoff_s(attempts[i])
+            backoff = retry.backoff_s(attempts[i])
             log_event(
                 self._logger, "pool_retry",
                 task=i, attempt=attempts[i], backoff_s=round(backoff, 6),

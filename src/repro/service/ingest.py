@@ -32,37 +32,65 @@ from ..hardware.middleware import MiddlewareServer
 from ..hardware.readers import ReadingRecord
 from .metrics import MetricsRegistry, get_service_logger, log_event
 
-__all__ = ["BoundedRecordQueue", "IngestionLoop"]
+__all__ = ["OVERFLOW_POLICIES", "BoundedRecordQueue", "IngestionLoop"]
+
+
+#: Overflow policies of :class:`BoundedRecordQueue`. ``drop_oldest``
+#: discards the stalest buffered record to admit the new one (counted in
+#: :attr:`~BoundedRecordQueue.dropped`); ``shed_newest`` rejects the
+#: *incoming* record instead (counted in
+#: :attr:`~BoundedRecordQueue.shed`). Drop-oldest suits perishable RSSI
+#: streams; shed-newest is the admission-control stance — once admitted,
+#: work is never abandoned.
+OVERFLOW_POLICIES = ("drop_oldest", "shed_newest")
 
 
 class BoundedRecordQueue:
-    """FIFO of reading records with a hard capacity and drop-oldest overflow.
+    """FIFO of reading records with a hard capacity and a named overflow policy.
 
     Parameters
     ----------
     capacity:
-        Maximum number of buffered records. When a record is offered to
-        a full queue, the *oldest* buffered record is discarded to make
-        room (and counted in :attr:`dropped`).
+        Maximum number of buffered records.
+    overflow:
+        What to do when a record is offered to a full queue:
+        ``"drop_oldest"`` (default) discards the oldest buffered record
+        to make room; ``"shed_newest"`` refuses the incoming record.
+        See :data:`OVERFLOW_POLICIES`.
     """
 
-    def __init__(self, capacity: int = 4096):
+    def __init__(self, capacity: int = 4096, *, overflow: str = "drop_oldest"):
         if capacity < 1:
             raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        if overflow not in OVERFLOW_POLICIES:
+            raise ConfigurationError(
+                f"unknown overflow policy {overflow!r}; "
+                f"expected one of {OVERFLOW_POLICIES}"
+            )
         self.capacity = int(capacity)
+        self.overflow = overflow
         self._items: deque[ReadingRecord] = deque()
         self._offered = 0
         self._dropped = 0
+        self._shed = 0
         self._delivered = 0
         self._high_watermark = 0
 
     # -- producer side -------------------------------------------------------
 
     def offer(self, record: ReadingRecord) -> bool:
-        """Enqueue ``record``; returns False when an old record was shed."""
+        """Enqueue ``record``; returns False when the offer overflowed.
+
+        Under ``drop_oldest`` an overflow still admits ``record`` (the
+        oldest buffered one is discarded); under ``shed_newest`` the
+        overflow rejects ``record`` itself and the buffer is untouched.
+        """
         self._offered += 1
         overflowed = len(self._items) >= self.capacity
         if overflowed:
+            if self.overflow == "shed_newest":
+                self._shed += 1
+                return False
             self._items.popleft()
             self._dropped += 1
         self._items.append(record)
@@ -71,11 +99,11 @@ class BoundedRecordQueue:
         return not overflowed
 
     def offer_many(self, records: Iterable[ReadingRecord]) -> int:
-        """Offer a chunk; returns how many caused an overflow drop."""
-        before = self._dropped
+        """Offer a chunk; returns how many offers overflowed."""
+        before = self._dropped + self._shed
         for record in records:
             self.offer(record)
-        return self._dropped - before
+        return (self._dropped + self._shed) - before
 
     # -- consumer side -------------------------------------------------------
 
@@ -102,8 +130,13 @@ class BoundedRecordQueue:
 
     @property
     def dropped(self) -> int:
-        """Records shed by the drop-oldest overflow policy."""
+        """Buffered records discarded by the drop-oldest overflow policy."""
         return self._dropped
+
+    @property
+    def shed(self) -> int:
+        """Incoming records refused by the shed-newest overflow policy."""
+        return self._shed
 
     @property
     def delivered(self) -> int:
@@ -154,7 +187,11 @@ class IngestionLoop:
             )
             self._c_dropped = metrics.counter(
                 "ingest_records_dropped_total",
-                "Records shed by the drop-oldest overflow policy",
+                "Buffered records discarded by the drop-oldest overflow policy",
+            )
+            self._c_shed = metrics.counter(
+                "ingest_records_shed_total",
+                "Incoming records refused by the shed-newest overflow policy",
             )
             self._c_delivered = metrics.counter(
                 "ingest_records_delivered_total", "Records delivered to middleware"
@@ -166,20 +203,28 @@ class IngestionLoop:
     # -- producer ------------------------------------------------------------
 
     def submit(self, records: Iterable[ReadingRecord]) -> int:
-        """Offer a chunk of records; returns overflow drops caused."""
+        """Offer a chunk of records; returns overflow drops/sheds caused."""
         records = list(records)
-        drops = self.queue.offer_many(records)
+        dropped_before = self.queue.dropped
+        shed_before = self.queue.shed
+        overflows = self.queue.offer_many(records)
         if self._metrics is not None:
             self._c_offered.inc(len(records))
-            if drops:
-                self._c_dropped.inc(drops)
+            dropped = self.queue.dropped - dropped_before
+            shed = self.queue.shed - shed_before
+            if dropped:
+                self._c_dropped.inc(dropped)
+            if shed:
+                self._c_shed.inc(shed)
             self._g_depth.set(len(self.queue))
-        if drops:
+        if overflows:
             log_event(
                 self._logger, "ingest_overflow",
-                dropped=drops, depth=len(self.queue), capacity=self.queue.capacity,
+                dropped=self.queue.dropped - dropped_before,
+                shed=self.queue.shed - shed_before,
+                depth=len(self.queue), capacity=self.queue.capacity,
             )
-        return drops
+        return overflows
 
     async def run(self, source: AsyncIterator[ReadingRecord]) -> int:
         """Consume an async record source to exhaustion; returns count."""

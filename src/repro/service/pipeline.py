@@ -87,7 +87,12 @@ class ServiceConfig:
     Parameters
     ----------
     queue_capacity:
-        Bound of the ingestion queue (drop-oldest beyond it).
+        Bound of the ingestion queue.
+    queue_overflow:
+        Overflow policy of the ingestion queue: ``"drop_oldest"``
+        (default — stalest record shed, perishable-stream stance) or
+        ``"shed_newest"`` (incoming record refused, admission-control
+        stance). See :data:`~repro.service.ingest.OVERFLOW_POLICIES`.
     max_batch_size / max_latency_s:
         Micro-batcher flush triggers (see :class:`MicroBatcher`).
     request_deadline_s:
@@ -142,6 +147,7 @@ class ServiceConfig:
     """
 
     queue_capacity: int = 4096
+    queue_overflow: str = "drop_oldest"
     max_batch_size: int = 8
     max_latency_s: float = 1.0
     request_deadline_s: float | None = 5.0
@@ -278,7 +284,9 @@ class ServicePipeline:
             freshness_floor=self.config.health_freshness_floor,
             metrics=self.metrics,
         )
-        self.queue = BoundedRecordQueue(self.config.queue_capacity)
+        self.queue = BoundedRecordQueue(
+            self.config.queue_capacity, overflow=self.config.queue_overflow
+        )
         self.ingest = IngestionLoop(self.queue, middleware, metrics=self.metrics)
         self.batcher = MicroBatcher(
             self.config.max_batch_size,
@@ -966,6 +974,7 @@ class ServicePipeline:
             "frames_dropped": self._c_frames_dropped.value,
             "batches_flushed": float(self.batcher.batches_flushed),
             "records_dropped": float(self.queue.dropped),
+            "records_shed": float(self.queue.shed),
             "queue_high_watermark": float(self.queue.high_watermark),
             "cache_hit_rate": self.cache.hit_rate if self.cache else 0.0,
             "cache_hits": float(self.cache.hits) if self.cache else 0.0,

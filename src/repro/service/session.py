@@ -54,7 +54,28 @@ __all__ = [
     "LocalizationService",
     "result_to_doc",
     "result_from_doc",
+    "result_witness_entry",
 ]
+
+
+def result_witness_entry(result: ServiceResult) -> dict[str, Any]:
+    """One result's entry in a determinism witness document.
+
+    Only the seed-deterministic fields: wall-clock latency and free-form
+    diagnostics are excluded by design. Shared by
+    :meth:`SessionReport.witness_document` and the zone gateway's
+    interim-result witness
+    (:meth:`~repro.zones.gateway.MultiZoneReport.witness_document`).
+    """
+    return {
+        "tag_id": result.tag_id,
+        "position": [float(result.position[0]), float(result.position[1])],
+        "estimator": result.estimator,
+        "degraded": bool(result.degraded),
+        "reason": result.reason,
+        "requested_at_s": float(result.requested_at_s),
+        "completed_at_s": float(result.completed_at_s),
+    }
 
 
 def result_to_doc(result: ServiceResult) -> dict[str, Any]:
@@ -142,18 +163,7 @@ class SessionReport:
             if r.degraded and r.reason is not None:
                 reasons[r.reason] = reasons.get(r.reason, 0) + 1
         return {
-            "results": [
-                {
-                    "tag_id": r.tag_id,
-                    "position": [float(r.position[0]), float(r.position[1])],
-                    "estimator": r.estimator,
-                    "degraded": bool(r.degraded),
-                    "reason": r.reason,
-                    "requested_at_s": float(r.requested_at_s),
-                    "completed_at_s": float(r.completed_at_s),
-                }
-                for r in self.results
-            ],
+            "results": [result_witness_entry(r) for r in self.results],
             "errors_m": [float(e) for e in self.errors_m],
             "n_results": len(self.results),
             "degraded_reasons": {k: reasons[k] for k in sorted(reasons)},

@@ -17,6 +17,14 @@ See ``docs/ZONES.md`` for the architecture, the handoff protocol and the
 multi-zone determinism witness.
 """
 
+from .failover import (
+    INTERIM_ESTIMATOR,
+    ZONE_DOWN_REASON,
+    AdmissionPolicy,
+    TokenBucket,
+    ZoneChannel,
+    ZoneFailoverPolicy,
+)
 from .gateway import HandoffEvent, MultiZoneReport, ZoneGateway
 from .spec import (
     ZONE_PITCH_M,
@@ -40,4 +48,7 @@ __all__ = [
     "ZoneWorker", "ZoneTask", "run_zone",
     # gateway
     "HandoffEvent", "MultiZoneReport", "ZoneGateway",
+    # failover
+    "ZONE_DOWN_REASON", "INTERIM_ESTIMATOR", "AdmissionPolicy",
+    "TokenBucket", "ZoneChannel", "ZoneFailoverPolicy",
 ]

@@ -38,6 +38,7 @@ import numpy as np
 from ..core.config import VIREConfig
 from ..exceptions import ConfigurationError
 from ..experiments.scenarios import TestbedScenario
+from ..faults.models import is_zone_fault
 from ..faults.plan import FaultPlan
 from ..geometry.grid import ReferenceGrid
 from ..geometry.placement import (
@@ -389,6 +390,29 @@ class ZonePlan:
         assert best_zone is not None  # plan has >= 1 zone
         return best_zone
 
+    def rank_zones(self, global_pos: Sequence[float]) -> tuple[ZoneSpec, ...]:
+        """Every zone ordered by :meth:`detect_zone` affinity.
+
+        The first entry is exactly ``detect_zone(global_pos)``; the rest
+        are the fallback order the gateway's cross-zone load shedding
+        uses when the preferred zone is down or saturated — nearest
+        surviving constellation first, ties on zone id. Pure function of
+        the plan geometry, so rerouting is deterministic.
+        """
+        p = np.asarray(
+            [float(global_pos[0]), float(global_pos[1])], dtype=np.float64
+        )
+        keyed = []
+        for z in self.zones:
+            d = float(
+                np.mean(
+                    np.linalg.norm(z.global_reader_positions() - p, axis=1)
+                )
+            )
+            keyed.append(((d, z.zone_id), z))
+        keyed.sort(key=lambda kz: kz[0])
+        return tuple(z for _, z in keyed)
+
 
 def slice_fault_plan(plan: FaultPlan, zone_id: str) -> FaultPlan:
     """The slice of a site fault plan that one zone injects locally.
@@ -400,9 +424,17 @@ def slice_fault_plan(plan: FaultPlan, zone_id: str) -> FaultPlan:
     single-zone plan therefore slices to *exactly* the original plan
     (same faults, same indices, same seed), preserving the bitwise
     identity contract with the unzoned service.
+
+    Zone-scoped control-plane faults (``scope == "zone"``: crashes,
+    hangs, link loss, slow zones) are *dropped* here regardless of
+    target — they act on the gateway→worker call path and are consumed
+    by :class:`~repro.zones.failover.ZoneChannel`, never by a worker's
+    local record injector.
     """
     kept = []
     for fault in plan:
+        if is_zone_fault(fault):
+            continue
         changes: dict[str, str] = {}
         skip = False
         for attr in ("reader_id", "tag_id"):

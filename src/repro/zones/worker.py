@@ -147,6 +147,7 @@ class ZoneWorker:
         )
         self._active: set[str] = {_tag_id(label) for label in spec.tracking_tags}
         self._roaming_ids: set[str] = {_tag_id(label) for label in roaming}
+        self._admission = None
 
         self._stream: SimulatorRecordStream | None = None
         self._chunks: Iterator[tuple[float, list[ReadingRecord]]] | None = None
@@ -236,6 +237,16 @@ class ZoneWorker:
     ) -> None:
         """Seed the level-4 ladder from a handed-off estimate (local)."""
         self.pipeline.transfer_last_estimate(_tag_id(label), local_pos)
+
+    def set_admission(self, admission) -> None:
+        """Attach an admission gate (duck typed: ``admit(now_s) -> bool``).
+
+        Consulted before each due query is submitted; a shed query's
+        schedule slot still advances (shed-newest — see
+        :class:`~repro.zones.failover.ZoneAdmission`). ``None`` (the
+        default) leaves the query path untouched.
+        """
+        self._admission = admission
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -392,10 +403,15 @@ class ZoneWorker:
             self._records_dispatched += len(records)
             for tag in sorted(self._active):
                 if now_s >= self._next_query[tag]:
-                    pipeline.submit_request(tag, now_s)
                     self._next_query[tag] = (
                         now_s + self.config.query_interval_s
                     )
+                    if (
+                        self._admission is not None
+                        and not self._admission.admit(now_s)
+                    ):
+                        continue  # shed-newest: slot advances, query dropped
+                    pipeline.submit_request(tag, now_s)
             served = pipeline.process_due(now_s)
             tsp.update(n_records=len(records), n_served=len(served))
         if writer is not None and not pipeline.replaying:

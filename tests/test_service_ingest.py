@@ -217,3 +217,70 @@ class TestQueueAccountingProperty:
         assert q.dropped == 7
         assert [r.time_s for r in q.drain()] == [7.0, 8.0, 9.0, 10.0, 11.0]
         assert q.offered == 12 and q.delivered == 5
+
+class TestShedNewestOverflow:
+    """``overflow="shed_newest"``: refuse arrivals, keep the buffer."""
+
+    def test_shed_newest_refuses_and_keeps_buffer(self):
+        q = BoundedRecordQueue(capacity=2, overflow="shed_newest")
+        assert q.offer(record(0)) is True
+        assert q.offer(record(1)) is True
+        assert q.offer(record(2)) is False
+        assert q.shed == 1 and q.dropped == 0
+        # Unlike drop-oldest, the buffered records survive untouched.
+        assert [r.time_s for r in q.drain()] == [0.0, 1.0]
+
+    def test_offer_many_counts_shed(self):
+        q = BoundedRecordQueue(capacity=3, overflow="shed_newest")
+        overflows = q.offer_many(record(i) for i in range(5))
+        assert overflows == 2
+        assert q.shed == 2 and q.dropped == 0
+        assert [r.time_s for r in q.drain()] == [0.0, 1.0, 2.0]
+
+    def test_conservation_includes_shed(self):
+        q = BoundedRecordQueue(capacity=2, overflow="shed_newest")
+        delivered = []
+        for i in range(6):
+            q.offer(record(i))
+            if i == 3:
+                delivered.extend(q.drain())
+            assert q.offered == i + 1
+            assert q.offered == q.delivered + q.dropped + q.shed + len(q)
+        assert q.dropped == 0 and q.shed > 0
+
+    def test_overflow_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            BoundedRecordQueue(capacity=2, overflow="newest-first")
+
+    def test_metrics_count_shed_separately(self, middleware):
+        metrics = MetricsRegistry()
+        loop = IngestionLoop(
+            BoundedRecordQueue(capacity=2, overflow="shed_newest"),
+            middleware, metrics=metrics,
+        )
+        loop.submit(record(i) for i in range(4))
+        assert metrics.get("ingest_records_shed_total").value == 2
+        assert metrics.get("ingest_records_dropped_total").value == 0
+        assert metrics.get("ingest_records_offered_total").value == 4
+
+    def test_service_config_plumbs_overflow_policy(self):
+        from repro.service.pipeline import ServiceConfig, ServicePipeline
+
+        deployment = build_paper_deployment(
+            make_clean_environment(),
+            tracking_tags={"asset": (1.5, 1.5)},
+            seed=3,
+        )
+        assert ServiceConfig().queue_overflow == "drop_oldest"
+        pipeline = ServicePipeline(
+            deployment.grid,
+            deployment.simulator.middleware,
+            ServiceConfig(queue_overflow="shed_newest"),
+        )
+        assert pipeline.queue.overflow == "shed_newest"
+        with pytest.raises(ConfigurationError):
+            ServicePipeline(
+                deployment.grid,
+                deployment.simulator.middleware,
+                ServiceConfig(queue_overflow="newest-first"),
+            )
