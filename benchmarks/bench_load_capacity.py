@@ -1,0 +1,184 @@
+"""Load capacity: rated throughput, tail latency and overload shedding.
+
+The acceptance bar for the open-loop load harness (docs/LOADTEST.md):
+
+1. **Rated point meets its SLO** — at the rated operating point the
+   harness must serve every offered arrival (availability 1.0) with
+   sim-clock p99 queue wait <= 1.0 s, and *wall-clock* sustained
+   throughput >= 50 localizations/s (the paper-grid estimator is a few
+   ms per batch; anything slower means a serving-path regression).
+2. **Determinism** — two same-seed runs of the rated point produce
+   byte-identical witness documents.
+3. **Overload degrades, never lies** — a 6x overload point with a
+   capped executor must descend the degradation ladder (deadline
+   reasons > 0) and report p99 queue wait past the request deadline;
+   the open-loop schedule guarantees the pressure cannot be masked.
+4. **The capacity model fits** — the least-squares fit over the sweep
+   reproduces the rated point's sustained rate within 20%.
+
+Run it via pytest (prints the JSON report)::
+
+    pytest benchmarks/bench_load_capacity.py -s
+
+or standalone (also writes BENCH_load_capacity.json)::
+
+    PYTHONPATH=src python benchmarks/bench_load_capacity.py
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.registry import build_capacity_report
+from repro.core.config import VIREConfig
+from repro.loadtest import LoadProfile, fit_capacity_model, run_load_test
+from repro.service import ServiceConfig
+
+try:
+    from .conftest import emit
+except ImportError:  # standalone: python benchmarks/bench_load_capacity.py
+
+    def emit(title: str, body: str) -> None:
+        bar = "=" * 72
+        print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+ENV = "Env1"
+SEED = 0
+DURATION_S = 10.0
+RATED_RATE_PER_S = 5.0
+OVERLOAD_RATE_PER_S = 30.0
+P99_SLO_S = 1.0
+WALL_THROUGHPUT_FLOOR_PER_S = 50.0
+MODEL_ERROR_CEILING = 0.20
+
+#: The paper's full-resolution virtual grid: the bench measures the
+#: real serving cost, not a smoke-sized stand-in.
+CONFIG = ServiceConfig(vire=VIREConfig(subdivisions=5))
+
+BASE = LoadProfile(
+    name="bench", process="burst", environment=ENV,
+    duration_s=DURATION_S, seed=SEED,
+)
+
+SWEEP = (
+    BASE.with_(name="bench-x1", rate_per_s=RATED_RATE_PER_S),
+    BASE.with_(name="bench-x2", rate_per_s=2 * RATED_RATE_PER_S),
+    BASE.with_(
+        name="bench-x6", rate_per_s=OVERLOAD_RATE_PER_S,
+        max_batches_per_tick=1,
+    ),
+)
+
+
+def _witness(report) -> str:
+    return json.dumps(report.witness_document(), sort_keys=True)
+
+
+def run_benchmark() -> dict:
+    reports = [run_load_test(p, config=CONFIG) for p in SWEEP]
+    rated, _, overloaded = reports
+
+    deterministic = _witness(run_load_test(SWEEP[0], config=CONFIG)) == \
+        _witness(rated)
+
+    rated_slo = rated.slo
+    rated_p99 = rated_slo["latency"]["p99_s"]
+    wall_rate = rated.served / rated.wall_s if rated.wall_s > 0 else 0.0
+
+    over_slo = overloaded.slo
+    deadline_degradations = over_slo["reasons"].get("deadline", 0)
+    over_p99 = over_slo["latency"]["p99_s"]
+
+    points = [r.capacity_point() for r in reports]
+    model = fit_capacity_model(points)
+    predicted = model.predict(points[0])
+    actual = points[0]["sustained_per_s"]
+    model_error = abs(predicted - actual) / actual if actual else 1.0
+
+    # The full report document regenerates from the same witness docs
+    # the CI artifact stores — exercised here so the bench fails if the
+    # registry and the harness ever drift apart.
+    figures = build_capacity_report(
+        [r.witness_document() for r in reports], meta={"bench": "capacity"}
+    )["figures"]
+
+    return {
+        "env": ENV,
+        "seed": SEED,
+        "duration_s": DURATION_S,
+        "sweep": [
+            {
+                "profile": r.profile.name,
+                "offered": r.offered,
+                "served": r.served,
+                "availability": round(r.slo["availability"], 6),
+                "p99_s": round(r.slo["latency"]["p99_s"], 6),
+                "sustained_per_s": round(r.slo["sustained_per_s"], 3),
+                "wall_s": round(r.wall_s, 4),
+            }
+            for r in reports
+        ],
+        "capacity_model": model.canonical_document(),
+        "figures_regenerated": sorted(figures),
+        "acceptance": {
+            "rated_p99_slo_s": P99_SLO_S,
+            "rated_p99_s": round(rated_p99, 6),
+            "rated_p99_ok": rated_p99 <= P99_SLO_S,
+            "rated_availability": round(rated_slo["availability"], 6),
+            "rated_availability_ok": rated_slo["availability"] == 1.0,
+            "wall_throughput_floor_per_s": WALL_THROUGHPUT_FLOOR_PER_S,
+            "wall_throughput_per_s": round(wall_rate, 1),
+            "wall_throughput_ok": wall_rate >= WALL_THROUGHPUT_FLOOR_PER_S,
+            "deterministic": deterministic,
+            "overload_deadline_degradations": int(deadline_degradations),
+            "overload_p99_s": round(over_p99, 6),
+            "overload_visible": bool(
+                deadline_degradations > 0 and over_p99 > P99_SLO_S
+            ),
+            "model_error_ceiling": MODEL_ERROR_CEILING,
+            "model_error": round(model_error, 4),
+            "model_ok": model_error <= MODEL_ERROR_CEILING,
+        },
+    }
+
+
+def test_load_capacity_benchmark():
+    report = run_benchmark()
+    emit("load capacity", json.dumps(report, indent=2))
+    acc = report["acceptance"]
+    assert acc["deterministic"], (
+        "same-seed rated runs are not byte-identical"
+    )
+    assert acc["rated_availability_ok"], (
+        f"rated point shed load: availability {acc['rated_availability']}"
+    )
+    assert acc["rated_p99_ok"], (
+        f"rated p99 {acc['rated_p99_s']}s exceeds the {P99_SLO_S}s SLO"
+    )
+    assert acc["wall_throughput_ok"], (
+        f"wall throughput {acc['wall_throughput_per_s']}/s is below the "
+        f"{WALL_THROUGHPUT_FLOOR_PER_S}/s floor"
+    )
+    assert acc["overload_visible"], (
+        "the overload point did not surface deadline ladder descent"
+    )
+    assert acc["model_ok"], (
+        f"capacity model misses the rated point by {acc['model_error']:.1%}"
+    )
+
+
+if __name__ == "__main__":
+    out = run_benchmark()
+    emit("load capacity", json.dumps(out, indent=2))
+    ok = all(
+        out["acceptance"][key]
+        for key in (
+            "deterministic", "rated_availability_ok", "rated_p99_ok",
+            "wall_throughput_ok", "overload_visible", "model_ok",
+        )
+    )
+    with open("BENCH_load_capacity.json", "w") as fh:
+        json.dump(out, fh, indent=2)
+        fh.write("\n")
+    print("wrote BENCH_load_capacity.json")
+    raise SystemExit(0 if ok else 1)

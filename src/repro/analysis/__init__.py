@@ -5,12 +5,22 @@ Beyond the per-tag means the paper plots, a reproduction should state
 bootstrap test over the runner's paired trials, and
 :mod:`~repro.analysis.cdf` the error-CDF comparisons standard in the
 localization literature. :mod:`~repro.analysis.report` assembles a full
-reproduction report.
+reproduction report. :mod:`~repro.analysis.registry` maps capacity
+figure names to pure regenerator functions over load-sweep JSONL
+(``repro report --from <dir>``; docs/LOADTEST.md).
 """
 
 from .cdf import cdf_comparison, format_cdf_comparison
 from .heatmap import ErrorMap, spatial_error_map, format_heatmap
 from .crlb import crlb_point, crlb_map, average_crlb
+from .registry import (
+    FigureSpec,
+    build_capacity_report,
+    build_figure,
+    figure_names,
+    get_figure,
+    load_sweep,
+)
 from .significance import PairedComparison, paired_bootstrap
 from .report import reproduction_report
 
@@ -26,4 +36,10 @@ __all__ = [
     "PairedComparison",
     "paired_bootstrap",
     "reproduction_report",
+    "FigureSpec",
+    "build_capacity_report",
+    "build_figure",
+    "figure_names",
+    "get_figure",
+    "load_sweep",
 ]

@@ -8,7 +8,21 @@ Commands
     VIRE vs LANDMARC (and optional extra baselines) in one environment,
     with the CDF table and the paired bootstrap verdict.
 ``report``
-    The full reproduction report (all figures + statistics).
+    The full reproduction report (all figures + statistics). With
+    ``--from DIR`` it instead regenerates the capacity report from a
+    load sweep's JSONL via the figure registry
+    (:mod:`repro.analysis.registry`): ``--list-figures`` enumerates the
+    registered figures, ``--figure NAME`` regenerates one in isolation,
+    ``--out DIR`` writes one ``report_<figure>.json`` artifact per
+    figure, and ``--json`` prints the canonical document (byte-identical
+    across reruns over the same sweep — the CI load-smoke artifact).
+``loadtest``
+    Seeded open-loop load sweep (docs/LOADTEST.md): a deterministic
+    arrival schedule (uniform/Poisson/bursty) drives the zone worker or
+    the multi-zone gateway at one or more rate multipliers; each sweep
+    point's witness document lands in ``load_sweep.jsonl`` and the
+    fitted capacity report in ``capacity_report.json``. Same seed ⇒
+    byte-identical schedule, witness and report.
 ``track``
     Demo: track a moving asset through the full event-driven testbed.
 ``serve``
@@ -121,6 +135,56 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--seed", type=int, default=0)
     rep.add_argument("--no-sweeps", action="store_true",
                      help="skip the slow Fig. 7/8 sweeps")
+    rep.add_argument("--from", dest="from_dir", default=None, metavar="DIR",
+                     help="regenerate the capacity report from a "
+                          "`loadtest --out DIR` sweep instead of running "
+                          "the paper reproduction")
+    rep.add_argument("--figure", default=None, metavar="NAME",
+                     help="with --from: regenerate one registered figure "
+                          "in isolation")
+    rep.add_argument("--list-figures", action="store_true",
+                     help="list the registered capacity figures and exit")
+    rep.add_argument("--json", action="store_true",
+                     help="with --from: print the canonical JSON document "
+                          "(byte-identical across reruns; CI load smoke)")
+    rep.add_argument("--out", default=None, metavar="DIR",
+                     help="with --from: write one report_<figure>.json "
+                          "artifact per figure into DIR")
+
+    lt = sub.add_parser(
+        "loadtest", help="seeded open-loop load sweep (docs/LOADTEST.md)"
+    )
+    lt.add_argument("--profile", default="steady",
+                    choices=["steady", "poisson", "burst"],
+                    help="traffic shape preset")
+    lt.add_argument("--env", default="Env1", choices=["Env1", "Env2", "Env3"])
+    lt.add_argument("--zones", type=int, default=1, metavar="N",
+                    help="1 = single zone worker; >1 = the zone gateway")
+    lt.add_argument("--duration", type=float, default=12.0,
+                    help="schedule horizon in simulated seconds")
+    lt.add_argument("--seed", type=int, default=0)
+    lt.add_argument("--rate", type=float, default=4.0,
+                    help="base per-zone arrival rate (queries/s)")
+    lt.add_argument("--points", default="1",
+                    help="comma-separated rate multipliers, one sweep "
+                         "point each (e.g. 1,2,4)")
+    lt.add_argument("--max-batches", type=int, default=None, metavar="K",
+                    help="executor budget: at most K batches per tick "
+                         "(models limited cores; omit for unbounded)")
+    lt.add_argument("--admission-rate", type=float, default=None,
+                    metavar="R", help="per-zone admission token rate "
+                                      "(queries/s); omit to admit all")
+    lt.add_argument("--subdivisions", type=int, default=None, metavar="N",
+                    help="override the VIRE virtual grid subdivisions "
+                         "(small N = cheap smoke runs)")
+    lt.add_argument("--out", default=None, metavar="DIR",
+                    help="write load_sweep.jsonl + capacity_report.json "
+                         "into DIR")
+    lt.add_argument("--json", action="store_true",
+                    help="print the canonical capacity report JSON "
+                         "(byte-identical across same-seed reruns)")
+    lt.add_argument("--quiet", action="store_true",
+                    help="suppress the per-point progress lines")
 
     trk = sub.add_parser("track", help="moving-asset tracking demo")
     trk.add_argument("--env", default="Env3", choices=["Env1", "Env2", "Env3"])
@@ -296,11 +360,183 @@ def _cmd_compare(args) -> str:
 
 
 def _cmd_report(args) -> str:
-    return reproduction_report(
-        n_trials=args.trials,
-        base_seed=args.seed,
-        include_sweeps=not args.no_sweeps,
+    import json as _json
+
+    from .analysis.registry import (
+        build_capacity_report,
+        build_figure,
+        figure_names,
+        get_figure,
+        load_sweep,
     )
+
+    if args.list_figures:
+        lines = ["registered capacity figures:"]
+        for name in figure_names():
+            spec = get_figure(name)
+            lines.append(f"  {name:22s} {spec.description}")
+        return "\n".join(lines)
+    if args.from_dir is None:
+        for flag, name in (
+            (args.figure, "--figure"),
+            (args.json, "--json"),
+            (args.out, "--out"),
+        ):
+            if flag:
+                raise ConfigurationError(f"{name} requires --from DIR")
+        return reproduction_report(
+            n_trials=args.trials,
+            base_seed=args.seed,
+            include_sweeps=not args.no_sweeps,
+        )
+
+    points = load_sweep(args.from_dir)
+    if args.figure is not None:
+        doc = build_figure(args.figure, points)
+    else:
+        doc = build_capacity_report(points, meta={"n_points": len(points)})
+    if args.out is not None:
+        import os
+
+        os.makedirs(args.out, exist_ok=True)
+        names = (args.figure,) if args.figure is not None else figure_names()
+        written = []
+        for name in names:
+            spec = get_figure(name)
+            path = os.path.join(args.out, spec.artifact)
+            with open(path, "w") as fh:
+                fh.write(
+                    _json.dumps(
+                        build_figure(name, points),
+                        indent=2,
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+            written.append(spec.artifact)
+        if not args.json:
+            return (
+                f"regenerated {len(written)} figure artifact(s) from "
+                f"{len(points)} sweep point(s) -> {args.out}: "
+                + ", ".join(written)
+            )
+    if args.json:
+        return _json.dumps(doc, sort_keys=True, indent=2)
+    return _format_capacity_report(doc, points)
+
+
+def _format_capacity_report(doc, points) -> str:
+    """Human view of a regenerated capacity report (or one figure)."""
+    lines = [f"capacity report over {len(points)} sweep point(s):"]
+    figures = doc.get("figures", {doc.get("figure", "figure"): doc})
+    for name in sorted(figures):
+        fig = figures[name]
+        lines.append(f"\n{name}: {fig.get('description', '')}")
+        data = fig.get("data", {})
+        if "series" in data:
+            for row in data["series"]:
+                cells = ", ".join(
+                    f"{k}={v}" for k, v in row.items() if k != "profile"
+                )
+                lines.append(f"  {row.get('profile', '?'):14s} {cells}")
+        elif "coefficients" in data:
+            lines.append(
+                f"  intercept {data['intercept']}  r2 {data['r2']}  "
+                f"(n={data['n_points']})"
+            )
+            for feat, coef in data["coefficients"].items():
+                lines.append(f"  {feat:20s} {coef:+}")
+        if "peak_sustained_per_s" in data:
+            lines.append(
+                f"  peak sustained {data['peak_sustained_per_s']} "
+                f"localizations/s"
+            )
+    return "\n".join(lines)
+
+
+def _cmd_loadtest(args) -> str:
+    import json as _json
+
+    from .analysis.registry import SWEEP_FILENAME, build_capacity_report
+    from .loadtest import preset_profile, run_load_test
+    from .service import ServiceConfig
+
+    try:
+        multipliers = [
+            float(tok) for tok in args.points.split(",") if tok.strip()
+        ]
+    except ValueError:
+        raise ConfigurationError(
+            f"--points expects comma-separated numbers, got {args.points!r}"
+        ) from None
+    if not multipliers:
+        raise ConfigurationError("--points names no sweep points")
+    if args.zones < 1:
+        raise ConfigurationError(f"--zones must be >= 1, got {args.zones}")
+
+    base = preset_profile(args.profile).with_(
+        environment=args.env,
+        n_zones=args.zones,
+        duration_s=args.duration,
+        seed=args.seed,
+        rate_per_s=args.rate,
+        max_batches_per_tick=args.max_batches,
+        admission_rate_per_s=args.admission_rate,
+    )
+    config = None
+    if args.subdivisions is not None:
+        config = ServiceConfig(vire=VIREConfig(subdivisions=args.subdivisions))
+
+    quiet = args.quiet or args.json
+    reports = []
+    for mult in multipliers:
+        profile = base.with_(
+            name=f"{args.profile}-x{mult:g}",
+            rate_per_s=args.rate * mult,
+        )
+        report = run_load_test(profile, config=config)
+        reports.append(report)
+        if not quiet:
+            slo = report.slo
+            print(
+                f"  {profile.name:14s} offered {report.offered:5d}  "
+                f"served {report.served:5d}  "
+                f"avail {100 * slo['availability']:5.1f}%  "
+                f"p99 {slo['latency']['p99_s']:.3f}s  "
+                f"sustained {slo['sustained_per_s']:.1f}/s  "
+                f"(wall {report.wall_s:.2f}s)"
+            )
+
+    points = [r.witness_document() for r in reports]
+    capacity = build_capacity_report(
+        points,
+        meta={
+            "profile": args.profile,
+            "env": args.env,
+            "zones": args.zones,
+            "seed": args.seed,
+            "rate_per_s": args.rate,
+            "multipliers": multipliers,
+            "duration_s": args.duration,
+        },
+    )
+    if args.out is not None:
+        import os
+
+        os.makedirs(args.out, exist_ok=True)
+        with open(os.path.join(args.out, SWEEP_FILENAME), "w") as fh:
+            for point in points:
+                fh.write(_json.dumps(point, sort_keys=True) + "\n")
+        with open(os.path.join(args.out, "capacity_report.json"), "w") as fh:
+            fh.write(_json.dumps(capacity, sort_keys=True, indent=2) + "\n")
+        if not quiet:
+            print(
+                f"  wrote {SWEEP_FILENAME} ({len(points)} point(s)) and "
+                f"capacity_report.json -> {args.out}"
+            )
+    if args.json:
+        return _json.dumps(capacity, sort_keys=True, indent=2)
+    return _format_capacity_report(capacity, points)
 
 
 def _cmd_track(args) -> str:
@@ -926,6 +1162,7 @@ _COMMANDS = {
     "figure": _cmd_figure,
     "compare": _cmd_compare,
     "report": _cmd_report,
+    "loadtest": _cmd_loadtest,
     "track": _cmd_track,
     "serve": _cmd_serve,
     "chaos": _cmd_chaos,

@@ -57,11 +57,22 @@ class StageStats:
 
 
 def _quantile(ordered: list[float], q: float) -> float:
-    """Nearest-rank quantile (same convention as service.metrics)."""
+    """Quantile with linear interpolation between order statistics.
+
+    Nearest-rank snapping is visibly wrong on the sparse tails a stage
+    table reports (a p99 over 20 spans just returns the max); the
+    "type 7" interpolated estimator blends the two straddling samples
+    instead — same convention as
+    :func:`repro.loadtest.slo.quantile_linear`.
+    """
     if not ordered:
         return math.nan
-    rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
-    return ordered[rank]
+    pos = q * (len(ordered) - 1)
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    if lo == hi:
+        return ordered[lo]
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * (pos - lo)
 
 
 def _walk(doc: Mapping[str, Any]):

@@ -151,18 +151,38 @@ class MicroBatcher:
         )
         return batch
 
-    def poll(self, now_s: float) -> list[Batch]:
+    def poll(
+        self, now_s: float, *, max_batches: int | None = None
+    ) -> list[Batch]:
         """Return every batch due at ``now_s`` (possibly none).
 
         Size flushes cut full batches first; a deadline flush then takes
         whatever remains if the oldest leftover request has aged out.
+
+        ``max_batches`` caps how many batches one poll may cut — the
+        executor-capacity knob of the load harness. An uncapped poll
+        always clears its backlog, which silently models an infinitely
+        fast estimator; with a cap, excess requests stay pending and
+        their queue wait (sim-clock) grows until the deadline ladder
+        takes over — overload becomes measurable instead of absorbed.
+        A capped poll also never cuts an oversized deadline batch: the
+        deadline flush only fires once the backlog has shrunk below one
+        full batch. ``None`` (the default) is bit-identical to the
+        historical unbounded behaviour.
         """
         batches: list[Batch] = []
-        while len(self._pending) >= self.max_batch_size:
+
+        def within_limit() -> bool:
+            return max_batches is None or len(batches) < max_batches
+
+        while len(self._pending) >= self.max_batch_size and within_limit():
             batches.append(self._cut(self.max_batch_size, "size", now_s))
-        deadline = self.next_deadline()
-        if deadline is not None and now_s >= deadline:
-            batches.append(self._cut(len(self._pending), "deadline", now_s))
+        if within_limit() and len(self._pending) < self.max_batch_size:
+            deadline = self.next_deadline()
+            if deadline is not None and now_s >= deadline:
+                batches.append(
+                    self._cut(len(self._pending), "deadline", now_s)
+                )
         return batches
 
     def drain(self, now_s: float) -> list[Batch]:

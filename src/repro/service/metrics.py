@@ -15,7 +15,9 @@ Design notes
   format) and the raw samples (for exact quantiles in reports and
   tests). At service scale — thousands of localizations per session —
   the raw samples are cheap; a production fork would drop them and read
-  quantiles off the buckets.
+  quantiles off the buckets — exactly what
+  :meth:`Histogram.bucket_quantile` does (with within-bucket linear
+  interpolation, so sparse tails do not snap to bucket upper bounds).
 * Everything is synchronous and allocation-light; metrics are updated on
   the hot path of the pipeline.
 * No global state: each pipeline owns its registry, so tests and
@@ -187,6 +189,37 @@ class Histogram:
         rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
         return ordered[rank]
 
+    def bucket_quantile(self, q: float) -> float:
+        """Quantile estimated from the bucket counts alone.
+
+        This is what a scrape-side ``histogram_quantile`` computes:
+        find the bucket holding the ``q``-th observation and
+        **linearly interpolate within it** (observations are assumed
+        uniform inside a bucket). The interpolation matters for sparse
+        buckets — a single sample in the (10 ms, 25 ms] bucket must not
+        report p99 = 25 ms just because that is the bucket's upper
+        bound.
+
+        Returns ``nan`` when empty; observations in the ``+Inf``
+        overflow bucket clamp to the highest finite bound (Prometheus
+        convention — there is no upper edge to interpolate toward).
+        """
+        if not (0.0 <= q <= 1.0):
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        total = self.count
+        if total == 0:
+            return math.nan
+        rank = q * total
+        cumulative = 0
+        for i, n in enumerate(self._counts[:-1]):
+            previous = cumulative
+            cumulative += n
+            if n and cumulative >= rank:
+                upper = self.buckets[i]
+                lower = self.buckets[i - 1] if i > 0 else min(0.0, upper)
+                return lower + (upper - lower) * (rank - previous) / n
+        return self.buckets[-1]
+
     def samples(self) -> list[tuple[str, float]]:
         out: list[tuple[str, float]] = []
         cumulative = 0
@@ -285,6 +318,10 @@ class MetricsRegistry:
 
     def __contains__(self, name: str) -> bool:
         return self._full(name) in self._metrics or name in self._metrics
+
+    def metrics(self) -> dict[str, "Counter | Gauge | Histogram"]:
+        """Snapshot of every registered metric, keyed by full name."""
+        return dict(self._metrics)
 
     def get(self, name: str) -> Counter | Gauge | Histogram:
         full = self._full(name)

@@ -95,6 +95,13 @@ class ServiceConfig:
         stance). See :data:`~repro.service.ingest.OVERFLOW_POLICIES`.
     max_batch_size / max_latency_s:
         Micro-batcher flush triggers (see :class:`MicroBatcher`).
+    max_batches_per_tick:
+        Executor capacity: how many batches one :meth:`process_due`
+        call may execute (``None`` = unbounded, the historical
+        behaviour). The load-test harness sets this to model a finite
+        estimator budget per tick, so sustained overload surfaces as
+        growing sim-clock queue wait and deadline ladder descent
+        instead of being absorbed by an implicitly infinite executor.
     request_deadline_s:
         Per-request deadline, in service-clock seconds from submission;
         requests older than this at execution time degrade to LANDMARC.
@@ -150,6 +157,7 @@ class ServiceConfig:
     queue_overflow: str = "drop_oldest"
     max_batch_size: int = 8
     max_latency_s: float = 1.0
+    max_batches_per_tick: int | None = None
     request_deadline_s: float | None = 5.0
     query_interval_s: float = 2.0
     stream_step_s: float = 0.5
@@ -182,6 +190,14 @@ class ServiceConfig:
         if self.query_interval_s <= 0:
             raise ConfigurationError(
                 f"query_interval_s must be positive, got {self.query_interval_s}"
+            )
+        if (
+            self.max_batches_per_tick is not None
+            and self.max_batches_per_tick < 1
+        ):
+            raise ConfigurationError(
+                f"max_batches_per_tick must be >= 1 or None, "
+                f"got {self.max_batches_per_tick}"
             )
         if self.stream_step_s <= 0:
             raise ConfigurationError(
@@ -363,10 +379,22 @@ class ServicePipeline:
 
     # -- batch execution -----------------------------------------------------
 
-    def process_due(self, now_s: float) -> list[ServiceResult]:
-        """Execute every batch due at ``now_s``; returns their results."""
+    def process_due(
+        self, now_s: float, max_batches: int | None = None
+    ) -> list[ServiceResult]:
+        """Execute every batch due at ``now_s``; returns their results.
+
+        ``max_batches`` caps the executor's work for this tick; when
+        omitted the config's ``max_batches_per_tick`` applies (default
+        unbounded). See :meth:`MicroBatcher.poll`.
+        """
+        limit = (
+            max_batches
+            if max_batches is not None
+            else self.config.max_batches_per_tick
+        )
         results: list[ServiceResult] = []
-        for batch in self.batcher.poll(now_s):
+        for batch in self.batcher.poll(now_s, max_batches=limit):
             results.extend(self._execute_batch(batch, now_s))
         return results
 

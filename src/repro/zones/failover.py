@@ -47,7 +47,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import Callable, Mapping
+from typing import Callable, Mapping, Sequence
 
 from ..exceptions import ConfigurationError
 from ..faults.models import is_zone_fault
@@ -280,6 +280,7 @@ class ZoneChannel:
         warmup_max_s: float = 120.0,
         tracer: Tracer | None = None,
         sleep: Callable[[float], None] = time.sleep,
+        query_schedule: Sequence[tuple[float, str]] | None = None,
     ):
         if policy.admission is not None and checkpoint_path is not None:
             raise ConfigurationError(
@@ -297,6 +298,7 @@ class ZoneChannel:
         self._warmup_max_s = warmup_max_s
         self._tracer = tracer
         self._sleep = sleep
+        self._query_schedule = query_schedule
         self._logger = get_service_logger()
 
         # Record-path slice for the worker; zone-scoped control faults
@@ -384,6 +386,7 @@ class ZoneChannel:
             resume=resume,
             perf_clock=self._perf_clock,
             warmup_max_s=self._warmup_max_s,
+            query_schedule=self._query_schedule,
         )
 
     def _attach_admission(self) -> None:

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Mapping, Sequence
 
 from ..exceptions import ConfigurationError
 from ..faults.models import is_zone_fault
@@ -210,6 +210,12 @@ class ZoneGateway:
     sleep:
         Backoff sleep injection for the supervised call path (tests pass
         a no-op to pay no wall-clock for retry backoff).
+    query_schedules:
+        Open-loop arrival schedules per zone id (the load harness):
+        each zone's ``(t_rel_s, tag_label)`` events replace its
+        interval-driven query loop (see
+        :meth:`ZoneWorker._submit_scheduled`). Zones absent from the
+        mapping keep the interval behaviour. Serial lockstep only.
     """
 
     def __init__(
@@ -223,6 +229,8 @@ class ZoneGateway:
         perf_clock: Callable[[], float] = time.perf_counter,
         failover: ZoneFailoverPolicy | None = _DEFAULT_FAILOVER,
         sleep: Callable[[float], None] = time.sleep,
+        query_schedules: Mapping[str, Sequence[tuple[float, str]]]
+        | None = None,
     ):
         self.plan = plan
         self.config = config or ServiceConfig()
@@ -232,6 +240,17 @@ class ZoneGateway:
         self._perf_clock = perf_clock
         self.failover = failover
         self._sleep = sleep
+        self.query_schedules = (
+            dict(query_schedules) if query_schedules is not None else None
+        )
+        if self.query_schedules is not None:
+            known = {spec.zone_id for spec in plan.zones}
+            unknown = sorted(set(self.query_schedules) - known)
+            if unknown:
+                raise ConfigurationError(
+                    f"query_schedules name unknown zones {unknown}; "
+                    f"the plan has {sorted(known)}"
+                )
         self._logger = get_service_logger()
         if failover is None and self._has_zone_faults():
             raise ConfigurationError(
@@ -302,6 +321,12 @@ class ZoneGateway:
             raise ConfigurationError(
                 "admission control is not supported in parallel mode; "
                 "run with parallel=False"
+            )
+        if parallel and self.query_schedules is not None:
+            raise ConfigurationError(
+                "open-loop query schedules require serial lockstep "
+                "execution (arrivals are keyed to the shared gateway "
+                "clock); run with parallel=False"
             )
         if parallel:
             return self._run_parallel(duration_s, max_workers, resume)
@@ -388,6 +413,10 @@ class ZoneGateway:
                     resume=resume,
                     perf_clock=self._perf_clock,
                     warmup_max_s=self.warmup_max_s,
+                    query_schedule=(
+                        self.query_schedules.get(spec.zone_id)
+                        if self.query_schedules is not None else None
+                    ),
                 )
             log_event(
                 self._logger, "gateway_serial_start",
@@ -568,6 +597,10 @@ class ZoneGateway:
                     warmup_max_s=self.warmup_max_s,
                     tracer=tracer,
                     sleep=self._sleep,
+                    query_schedule=(
+                        self.query_schedules.get(spec.zone_id)
+                        if self.query_schedules is not None else None
+                    ),
                 )
             log_event(
                 self._logger, "gateway_serial_start",

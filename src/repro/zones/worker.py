@@ -29,7 +29,7 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator, Mapping
+from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from ..exceptions import (
     CheckpointError,
@@ -97,6 +97,7 @@ class ZoneWorker:
         crash_point=None,
         perf_clock: Callable[[], float] = time.perf_counter,
         warmup_max_s: float = 120.0,
+        query_schedule: Sequence[tuple[float, str]] | None = None,
     ):
         if resume and checkpoint_path is None:
             raise ConfigurationError("resume=True requires a checkpoint_path")
@@ -148,6 +149,19 @@ class ZoneWorker:
         self._active: set[str] = {_tag_id(label) for label in spec.tracking_tags}
         self._roaming_ids: set[str] = {_tag_id(label) for label in roaming}
         self._admission = None
+        # Open-loop arrival schedule (load harness): (t_rel_s, label)
+        # events relative to session start, replacing the per-tag query
+        # interval. The cursor lives on the worker instance, so a fresh
+        # worker (respawn, resume) replays the schedule from the top —
+        # exactly the property journal gap replay needs.
+        self._query_schedule: tuple[tuple[float, str], ...] | None = (
+            None
+            if query_schedule is None
+            else tuple(
+                (float(t), str(label)) for t, label in query_schedule
+            )
+        )
+        self._sched_i = 0
 
         self._stream: SimulatorRecordStream | None = None
         self._chunks: Iterator[tuple[float, list[ReadingRecord]]] | None = None
@@ -370,6 +384,30 @@ class ZoneWorker:
             results_restored=self._wal_index,
         )
 
+    def _submit_scheduled(self, now_s: float) -> None:
+        """Submit every open-loop schedule event due at this tick.
+
+        Arrival times are relative to the session start (post warm-up).
+        The cursor only moves forward — arrivals are submitted exactly
+        once, in schedule order, regardless of how the service is
+        keeping up (that is the open-loop contract). Events for tags
+        this zone does not currently own are skipped with the cursor
+        still advancing, and admission control applies per arrival
+        exactly as it does to interval-driven queries.
+        """
+        schedule = self._query_schedule
+        assert schedule is not None
+        t_rel = now_s - self._start_s + 1e-9
+        while self._sched_i < len(schedule) and schedule[self._sched_i][0] <= t_rel:
+            _, label = schedule[self._sched_i]
+            self._sched_i += 1
+            tag = _tag_id(label)
+            if tag not in self._active:
+                continue
+            if self._admission is not None and not self._admission.admit(now_s):
+                continue  # shed-newest: the arrival is consumed, not queued
+            self.pipeline.submit_request(tag, now_s)
+
     def step(self) -> list[ServiceResult] | None:
         """Process the next stream chunk; ``None`` when the stream ends.
 
@@ -401,17 +439,20 @@ class ZoneWorker:
                 self._replay_until = None
             pipeline.ingest.submit(records)
             self._records_dispatched += len(records)
-            for tag in sorted(self._active):
-                if now_s >= self._next_query[tag]:
-                    self._next_query[tag] = (
-                        now_s + self.config.query_interval_s
-                    )
-                    if (
-                        self._admission is not None
-                        and not self._admission.admit(now_s)
-                    ):
-                        continue  # shed-newest: slot advances, query dropped
-                    pipeline.submit_request(tag, now_s)
+            if self._query_schedule is not None:
+                self._submit_scheduled(now_s)
+            else:
+                for tag in sorted(self._active):
+                    if now_s >= self._next_query[tag]:
+                        self._next_query[tag] = (
+                            now_s + self.config.query_interval_s
+                        )
+                        if (
+                            self._admission is not None
+                            and not self._admission.admit(now_s)
+                        ):
+                            continue  # shed-newest: slot advances
+                        pipeline.submit_request(tag, now_s)
             served = pipeline.process_due(now_s)
             tsp.update(n_records=len(records), n_served=len(served))
         if writer is not None and not pipeline.replaying:

@@ -329,12 +329,79 @@ def build_trace_fig6() -> dict:
     }
 
 
+LOADTEST_SEED = 17
+LOADTEST_DURATION_S = 5.0
+
+
+def loadtest_sweep_profiles():
+    """The two frozen sweep points behind ``report_capacity.json``."""
+    from repro.loadtest import LoadProfile
+
+    base = LoadProfile(
+        name="golden", process="burst", environment="Env1",
+        duration_s=LOADTEST_DURATION_S, seed=LOADTEST_SEED,
+    )
+    return (
+        base.with_(name="golden-x1", rate_per_s=4.0),
+        base.with_(name="golden-x2", rate_per_s=8.0),
+    )
+
+
+def build_report_schedule() -> dict:
+    """Canonical arrival schedule of a bursty profile.
+
+    Pins the traffic generator itself: every arrival time (9-decimal
+    rounded), zone id and tag label of the derived RNG streams. Any
+    change to the thinning loop, the stream derivation keys or the
+    label draws shows up as a byte diff here.
+    """
+    from repro.loadtest import generate_schedule
+
+    profile = loadtest_sweep_profiles()[0].with_(n_zones=2)
+    schedule = generate_schedule(profile)
+    return {
+        "scenario": "report-schedule: canonical burst arrival schedule, "
+        f"2 zones (seed {LOADTEST_SEED})",
+        "digest_sha256": schedule.digest(),
+        "schedule": schedule.canonical_document(),
+    }
+
+
+def build_report_capacity() -> dict:
+    """Canonical capacity report of a tiny frozen load sweep.
+
+    Two bursty sweep points through the real single-zone harness (cheap
+    ``subdivisions=5`` world), fed to every registered figure builder.
+    Wall-clock never enters: the sweep points are witness documents and
+    the fit is the pure-Python least-squares solver.
+    """
+    from repro.analysis.registry import build_capacity_report
+    from repro.loadtest import run_load_test
+    from repro.service import ServiceConfig
+
+    config = ServiceConfig(vire=VIREConfig(subdivisions=5))
+    points = [
+        run_load_test(profile, config=config).witness_document()
+        for profile in loadtest_sweep_profiles()
+    ]
+    return {
+        "scenario": "report-capacity: figure-registry output over a two-"
+        f"point frozen burst sweep (seed {LOADTEST_SEED})",
+        "seed": LOADTEST_SEED,
+        "report": build_capacity_report(
+            points, meta={"seed": LOADTEST_SEED}
+        ),
+    }
+
+
 BUILDERS = {
     "paper_config.json": build_paper_trace,
     "masked_reading.json": build_masked_trace,
     "chaos_preset.json": build_chaos_trace,
     "trace_serve.json": build_trace_serve,
     "trace_fig6.json": build_trace_fig6,
+    "report_schedule.json": build_report_schedule,
+    "report_capacity.json": build_report_capacity,
 }
 
 

@@ -26,6 +26,8 @@ from .regen_golden import (
     build_chaos_trace,
     build_masked_trace,
     build_paper_trace,
+    build_report_capacity,
+    build_report_schedule,
     build_trace_fig6,
     build_trace_serve,
     chaos_result_docs,
@@ -182,3 +184,32 @@ class TestSpanTracesMatchGolden:
             else:
                 assert attrs["level"] in (1, 2, 3, 4)
                 assert isinstance(attrs["estimator"], str)
+
+
+class TestLoadReportsMatchGolden:
+    """The load harness and figure registry are pinned end to end.
+
+    ``report_schedule.json`` freezes the traffic generator (every
+    arrival of a two-zone burst profile); ``report_capacity.json``
+    freezes the whole chain behind ``repro report --from``: harness →
+    witness documents → every registered figure, capacity-model fit
+    included. Wall-clock fields are excluded by construction
+    (witness documents carry sim-clock facts only), so both fixtures
+    are byte-stable across machines.
+    """
+
+    def test_report_schedule(self):
+        assert build_report_schedule() == _load("report_schedule.json")
+
+    def test_report_capacity(self):
+        assert build_report_capacity() == _load("report_capacity.json")
+
+    def test_capacity_fixture_covers_every_registered_figure(self):
+        from repro.analysis.registry import figure_names
+
+        fixture = _load("report_capacity.json")
+        assert set(fixture["report"]["figures"]) == set(figure_names())
+
+    def test_fixtures_carry_no_wall_clock_fields(self):
+        for name in ("report_schedule.json", "report_capacity.json"):
+            assert "wall" not in json.dumps(_load(name))

@@ -1,0 +1,137 @@
+"""Tests for repro.loadtest.profiles: deterministic arrival schedules."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.loadtest import (
+    ARRIVAL_PROCESSES,
+    PRESET_PROFILES,
+    LoadProfile,
+    generate_schedule,
+    preset_profile,
+)
+
+
+class TestLoadProfile:
+    def test_defaults_are_valid(self):
+        p = LoadProfile()
+        assert p.process in ARRIVAL_PROCESSES
+        assert p.zone_ids() == ("z0",)
+
+    def test_zone_ids_scale(self):
+        assert LoadProfile(n_zones=3).zone_ids() == ("z0", "z1", "z2")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"process": "fractal"},
+            {"n_zones": 0},
+            {"duration_s": 0.0},
+            {"rate_per_s": -1.0},
+            {"burst_factor": 0.5},
+            {"burst_duty": 1.5},
+            {"max_batches_per_tick": 0},
+            {"admission_rate_per_s": 0.0},
+            {"environment": "Env9"},
+        ],
+    )
+    def test_invalid_profiles_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            LoadProfile(**kwargs)
+
+    def test_with_returns_updated_copy(self):
+        p = LoadProfile()
+        q = p.with_(rate_per_s=9.0, n_zones=2)
+        assert q.rate_per_s == 9.0 and q.n_zones == 2
+        assert p.rate_per_s != 9.0  # original untouched
+
+    def test_canonical_document_roundtrips_as_json(self):
+        doc = LoadProfile(process="burst").canonical_document()
+        assert json.loads(json.dumps(doc, sort_keys=True)) == doc
+
+    def test_presets_cover_every_process(self):
+        assert {p.process for p in PRESET_PROFILES.values()} == set(
+            ARRIVAL_PROCESSES
+        )
+        with pytest.raises(ConfigurationError):
+            preset_profile("nope")
+
+
+class TestGenerateSchedule:
+    def test_events_sorted_and_inside_horizon(self):
+        p = LoadProfile(process="poisson", duration_s=20.0, rate_per_s=6.0,
+                        n_zones=2, seed=4)
+        schedule = generate_schedule(p)
+        assert len(schedule) > 0
+        times = [t for t, _, _ in schedule.events]
+        assert times == sorted(times)
+        assert all(0.0 < t <= p.duration_s for t in times)
+        assert {z for _, z, _ in schedule.events} == {"z0", "z1"}
+
+    def test_uniform_rate_is_exact(self):
+        p = LoadProfile(process="uniform", duration_s=10.0, rate_per_s=5.0)
+        assert len(generate_schedule(p)) == 50
+
+    def test_poisson_rate_is_approximate(self):
+        p = LoadProfile(process="poisson", duration_s=200.0, rate_per_s=5.0,
+                        seed=1)
+        n = len(generate_schedule(p))
+        assert 800 < n < 1200  # mean 1000, sd ~32
+
+    def test_burst_concentrates_arrivals_in_the_duty_window(self):
+        p = LoadProfile(process="burst", duration_s=32.0, rate_per_s=8.0,
+                        burst_period_s=8.0, burst_duty=0.25,
+                        burst_factor=6.0, seed=2)
+        schedule = generate_schedule(p)
+        in_burst = sum(
+            1 for t, _, _ in schedule.events
+            if (t % p.burst_period_s) < p.burst_duty * p.burst_period_s
+        )
+        assert in_burst > 0.6 * len(schedule)
+
+    def test_same_seed_same_schedule(self):
+        p = LoadProfile(process="burst", seed=9)
+        a, b = generate_schedule(p), generate_schedule(p)
+        assert a.events == b.events
+        assert a.digest() == b.digest()
+
+    def test_different_seed_different_schedule(self):
+        a = generate_schedule(LoadProfile(process="poisson", seed=1))
+        b = generate_schedule(LoadProfile(process="poisson", seed=2))
+        assert a.events != b.events
+
+    def test_zone_streams_are_independent(self):
+        # Adding zones must not perturb z0's arrivals: each zone draws
+        # from its own derived RNG stream.
+        one = generate_schedule(LoadProfile(process="poisson", seed=7))
+        three = generate_schedule(
+            LoadProfile(process="poisson", seed=7, n_zones=3)
+        )
+        assert three.for_zone("z0") == one.for_zone("z0")
+
+    def test_for_zone_unknown_raises(self):
+        schedule = generate_schedule(LoadProfile())
+        with pytest.raises(ConfigurationError):
+            schedule.for_zone("z9")
+
+    def test_offered_by_zone_sums_to_total(self):
+        schedule = generate_schedule(LoadProfile(n_zones=3, seed=3))
+        offered = schedule.offered_by_zone()
+        assert sum(offered.values()) == len(schedule)
+
+    def test_labels_come_from_the_paper_testbed(self):
+        schedule = generate_schedule(LoadProfile(seed=5))
+        labels = {label for _, _, label in schedule.events}
+        assert labels <= {str(i) for i in range(1, 10)}
+
+    def test_canonical_document_is_byte_stable(self):
+        p = LoadProfile(process="burst", seed=6)
+        a = json.dumps(generate_schedule(p).canonical_document(),
+                       sort_keys=True)
+        b = json.dumps(generate_schedule(p).canonical_document(),
+                       sort_keys=True)
+        assert a == b

@@ -1,0 +1,96 @@
+"""Property tests of the load harness's determinism contract.
+
+The claim: a :class:`LoadProfile` (seed included) is a *complete*
+description of a load test. Two materializations of the same profile
+must agree byte-for-byte — first the arrival schedule alone (cheap,
+hammered across the whole profile space), then the full witness and
+the regenerated ``repro report`` capacity summary (expensive, few
+examples over a tiny profile).
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.registry import build_capacity_report
+from repro.core.config import VIREConfig
+from repro.loadtest import LoadProfile, generate_schedule, run_load_test
+from repro.service import ServiceConfig
+
+profiles = st.builds(
+    LoadProfile,
+    name=st.sampled_from(["steady", "poisson", "burst", "prop"]),
+    process=st.sampled_from(["uniform", "poisson", "burst"]),
+    n_zones=st.integers(1, 4),
+    duration_s=st.floats(1.0, 60.0, allow_nan=False),
+    rate_per_s=st.floats(0.5, 50.0, allow_nan=False),
+    burst_factor=st.floats(1.0, 10.0, allow_nan=False),
+    burst_duty=st.floats(0.05, 1.0, allow_nan=False),
+    seed=st.integers(0, 2**31 - 1),
+)
+
+
+def schedule_bytes(profile: LoadProfile) -> bytes:
+    doc = generate_schedule(profile).canonical_document()
+    return json.dumps(doc, sort_keys=True).encode()
+
+
+class TestScheduleDeterminism:
+    @given(profile=profiles)
+    @settings(max_examples=60, deadline=None)
+    def test_same_profile_same_bytes(self, profile):
+        assert schedule_bytes(profile) == schedule_bytes(profile)
+
+    @given(profile=profiles)
+    @settings(max_examples=40, deadline=None)
+    def test_events_sorted_and_inside_the_horizon(self, profile):
+        schedule = generate_schedule(profile)
+        times = [t for t, _, _ in schedule.events]
+        assert times == sorted(times)
+        assert all(0.0 < t <= profile.duration_s for t in times)
+
+    @given(profile=profiles, extra=st.integers(1, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_added_zones_never_perturb_existing_streams(self, profile, extra):
+        wider = profile.with_(n_zones=profile.n_zones + extra)
+        narrow = generate_schedule(profile)
+        wide = generate_schedule(wider)
+        for zone_id in profile.zone_ids():
+            assert wide.for_zone(zone_id) == narrow.for_zone(zone_id)
+
+    @given(seed_a=st.integers(0, 1000), seed_b=st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_digest_is_a_function_of_the_seed(self, seed_a, seed_b):
+        a = generate_schedule(LoadProfile(process="poisson", seed=seed_a))
+        b = generate_schedule(LoadProfile(process="poisson", seed=seed_b))
+        assert (a.digest() == b.digest()) == (seed_a == seed_b)
+
+
+class TestEndToEndDeterminism:
+    """The expensive half: run the real harness twice per example."""
+
+    @given(
+        seed=st.integers(0, 1_000_000),
+        process=st.sampled_from(["uniform", "burst"]),
+    )
+    @settings(max_examples=4, deadline=None)
+    def test_witness_and_capacity_report_are_byte_identical(
+        self, seed, process
+    ):
+        profile = LoadProfile(
+            name="e2e", process=process, duration_s=3.0,
+            rate_per_s=3.0, seed=seed,
+        )
+        config = ServiceConfig(vire=VIREConfig(subdivisions=5))
+        docs = []
+        for _ in range(2):
+            report = run_load_test(profile, config=config)
+            point = report.witness_document()
+            summary = build_capacity_report([point], meta={"seed": seed})
+            docs.append(json.dumps(
+                {"point": point, "report": summary}, sort_keys=True
+            ))
+        assert docs[0] == docs[1]

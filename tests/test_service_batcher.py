@@ -61,6 +61,48 @@ class TestDeadlineTrigger:
         assert len(b.poll(1.0)) == 1
 
 
+class TestMaxBatchesCap:
+    """poll(max_batches=K) models a bounded executor (K batches/tick)."""
+
+    def test_cap_limits_size_cuts_per_poll(self):
+        b = MicroBatcher(max_batch_size=2, max_latency_s=10.0)
+        for i in range(8):
+            b.submit(req(f"t{i}", 0.0))
+        batches = b.poll(0.0, max_batches=1)
+        assert [batch.reason for batch in batches] == ["size"]
+        assert b.pending == 6  # backlog carried to the next tick
+
+    def test_backlog_drains_across_successive_polls(self):
+        b = MicroBatcher(max_batch_size=2, max_latency_s=10.0)
+        for i in range(6):
+            b.submit(req(f"t{i}", 0.0))
+        seen = []
+        for _ in range(3):
+            seen += b.poll(0.0, max_batches=1)
+        assert len(seen) == 3
+        assert b.pending == 0
+
+    def test_deadline_flush_suppressed_while_backlog_is_full(self):
+        # An exhausted budget must not sneak an extra deadline cut in.
+        b = MicroBatcher(max_batch_size=2, max_latency_s=0.1)
+        for i in range(5):
+            b.submit(req(f"t{i}", 0.0))
+        batches = b.poll(5.0, max_batches=1)
+        assert [batch.reason for batch in batches] == ["size"]
+
+    def test_deadline_flush_still_fires_under_the_cap(self):
+        b = MicroBatcher(max_batch_size=10, max_latency_s=0.1)
+        b.submit(req("a", 0.0))
+        batches = b.poll(5.0, max_batches=1)
+        assert [batch.reason for batch in batches] == ["deadline"]
+
+    def test_default_poll_is_unlimited(self):
+        b = MicroBatcher(max_batch_size=2, max_latency_s=10.0)
+        for i in range(8):
+            b.submit(req(f"t{i}", 0.0))
+        assert len(b.poll(0.0)) == 4
+
+
 class TestDrain:
     def test_drain_flushes_remainder(self):
         b = MicroBatcher(max_batch_size=2, max_latency_s=100.0)

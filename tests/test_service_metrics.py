@@ -93,6 +93,61 @@ class TestHistogram:
             h.observe(float("nan"))
 
 
+class TestBucketQuantile:
+    """Pins for the bucket-only estimator (within-bucket interpolation).
+
+    Known distribution: 1..100 into decade buckets puts exactly 10
+    samples in each bucket, so linear interpolation must recover the
+    exact percentiles — the regression these tests guard is the old
+    snap-to-upper-bound behaviour (p99 of 1..100 reporting 100).
+    """
+
+    @staticmethod
+    def _decades() -> Histogram:
+        h = Histogram("lat", buckets=tuple(float(b) for b in
+                                           range(10, 101, 10)))
+        for v in range(1, 101):
+            h.observe(float(v))
+        return h
+
+    def test_uniform_distribution_percentiles_are_exact(self):
+        h = self._decades()
+        assert h.bucket_quantile(0.50) == pytest.approx(50.0)
+        assert h.bucket_quantile(0.95) == pytest.approx(95.0)
+        assert h.bucket_quantile(0.99) == pytest.approx(99.0)
+
+    def test_first_bucket_interpolates_from_zero(self):
+        h = self._decades()
+        assert h.bucket_quantile(0.05) == pytest.approx(5.0)
+
+    def test_sparse_tail_does_not_snap_to_upper_bound(self):
+        # One sample in (0.01, 0.025]: p99 must interpolate inside the
+        # bucket, not report the 25 ms bound.
+        h = Histogram("lat", buckets=(0.01, 0.025))
+        h.observe(0.02)
+        p99 = h.bucket_quantile(0.99)
+        assert p99 == pytest.approx(0.01 + 0.015 * 0.99)
+        assert p99 < 0.025
+
+    def test_overflow_clamps_to_highest_finite_bound(self):
+        h = Histogram("lat", buckets=(1.0,))
+        h.observe(5.0)
+        assert h.bucket_quantile(0.5) == 1.0
+
+    def test_empty_is_nan_and_range_checked(self):
+        h = Histogram("lat", buckets=(1.0,))
+        assert math.isnan(h.bucket_quantile(0.5))
+        with pytest.raises(ConfigurationError):
+            h.bucket_quantile(1.5)
+
+    def test_tracks_exact_quantile_on_dense_data(self):
+        # With every bucket well populated the bucket estimate must sit
+        # within one bucket width of the exact sample quantile.
+        h = self._decades()
+        for q in (0.5, 0.9, 0.95, 0.99):
+            assert abs(h.bucket_quantile(q) - h.quantile(q)) <= 10.0
+
+
 class TestRegistry:
     def test_idempotent_creation(self):
         reg = MetricsRegistry("svc")
@@ -113,6 +168,14 @@ class TestRegistry:
     def test_get_unknown_raises(self):
         with pytest.raises(ConfigurationError):
             MetricsRegistry().get("nope")
+
+    def test_metrics_returns_a_defensive_snapshot(self):
+        reg = MetricsRegistry("svc")
+        counter = reg.counter("hits_total")
+        snapshot = reg.metrics()
+        assert snapshot == {"svc_hits_total": counter}
+        snapshot.clear()  # mutating the copy must not unregister anything
+        assert reg.get("hits_total") is counter
 
     def test_prometheus_rendering(self):
         reg = MetricsRegistry("repro")

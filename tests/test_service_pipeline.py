@@ -236,3 +236,8 @@ class TestConfigValidation:
             ServiceConfig(query_interval_s=-1.0)
         with pytest.raises(ConfigurationError):
             ServiceConfig(stream_step_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(max_batches_per_tick=0)
+        assert ServiceConfig(max_batches_per_tick=None).max_batches_per_tick \
+            is None
+        assert ServiceConfig(max_batches_per_tick=2).max_batches_per_tick == 2
