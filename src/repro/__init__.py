@@ -102,6 +102,11 @@ from .faults import (
     CrashPoint,
     SimulatedCrash,
 )
+from .calibration import (
+    CalibrationPolicy,
+    DriftCorrector,
+    TrustState,
+)
 from .runtime import (
     RuntimePolicy,
     SupervisedPool,
@@ -180,6 +185,8 @@ __all__ = [
     "ReaderOutageFault", "BurstLossFault", "TagDeathFault",
     "CalibrationDriftFault", "DelayFault",
     "CrashPoint", "SimulatedCrash",
+    # calibration (self-healing drift correction + tag quarantine)
+    "CalibrationPolicy", "DriftCorrector", "TrustState",
     # runtime (supervised execution + checkpoints)
     "RuntimePolicy", "SupervisedPool", "supervised_map",
     "CheckpointWriter", "CheckpointState", "load_checkpoint",

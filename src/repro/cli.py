@@ -253,8 +253,14 @@ def build_parser() -> argparse.ArgumentParser:
     cha.add_argument("--seed", type=int, default=0,
                      help="seed for both the scenario and the fault plan")
     cha.add_argument("--preset", default="moderate",
-                     choices=["none", "light", "moderate", "severe"],
+                     choices=["none", "light", "moderate", "severe",
+                              "drift"],
                      help="fault-plan intensity preset")
+    cha.add_argument("--calibrate", action="store_true",
+                     help="enable the self-healing calibration loop: "
+                          "online per-reader drift correction and "
+                          "reference-tag quarantine from reference "
+                          "residuals (docs/CALIBRATION.md)")
     cha.add_argument("--outage-reader", default=None,
                      help="add a hard outage of this reader id "
                           "(e.g. reader-0) on top of the preset")
@@ -996,6 +1002,39 @@ def _cmd_chaos_zones(args) -> str:
     return "\n".join(lines)
 
 
+def _calibration_witness(report, plan, summary) -> dict:
+    """The chaos command's calibration section: a determinism witness.
+
+    Per-reader *injected* bias (what the fault plan's drift models put
+    in, evaluated at session end) against the corrector's *estimated*
+    bias (what came out), plus the quarantine/readmit event log. Pure
+    functions of the seed — the CI smoke job byte-diffs repeat runs.
+    """
+    from .faults import CalibrationDriftFault
+
+    end_s = float(summary.get("session_end_s", 0.0))
+    injected: dict[str, float] = {}
+    for fault in plan:
+        if isinstance(fault, CalibrationDriftFault):
+            injected[fault.reader_id] = (
+                injected.get(fault.reader_id, 0.0) + fault.bias_at(end_s)
+            )
+    bias_table = {}
+    for key in sorted(summary):
+        if key.startswith("calibration_bias_") and key.endswith("_db"):
+            reader = key[len("calibration_bias_"):-len("_db")]
+            bias_table[reader] = {
+                "injected_db": round(injected.get(reader, 0.0), 6),
+                "estimated_db": round(float(summary[key]), 6),
+            }
+    return {
+        "bias_table": bias_table,
+        "events": [dict(e) for e in report.calibration_events],
+        "quarantined": int(summary.get("calibration_quarantined", 0)),
+        "transitions": int(summary.get("calibration_transitions", 0)),
+    }
+
+
 def _cmd_chaos(args) -> str:
     import json as _json
 
@@ -1014,9 +1053,15 @@ def _cmd_chaos(args) -> str:
                 duration_s=args.outage_duration,
             )
         )
+    calibration = None
+    if args.calibrate:
+        from .calibration import CalibrationPolicy
+
+        calibration = CalibrationPolicy()
     config = ServiceConfig(
         query_interval_s=args.query_interval,
         allow_partial=not args.strict,
+        calibration=calibration,
     )
     scenario = paper_scenario(args.env, n_trials=1, base_seed=args.seed)
     with _graceful_sigterm():
@@ -1055,6 +1100,8 @@ def _cmd_chaos(args) -> str:
             "frames_dropped": int(s["frames_dropped"]),
             "breaker_transitions": int(s["breaker_transitions"]),
         }
+        if args.calibrate:
+            doc["calibration"] = _calibration_witness(report, plan, s)
         return _json.dumps(doc, sort_keys=True, indent=2)
 
     lines = [
@@ -1078,6 +1125,21 @@ def _cmd_chaos(args) -> str:
         f"  mean error           {report.mean_error_m:.3f} m "
         f"over {len(report.errors_m)} ground-truth results",
     ]
+    if args.calibrate:
+        cal = _calibration_witness(report, plan, s)
+        lines.append(
+            f"  calibration          {cal['transitions']} trust "
+            f"transition(s), {cal['quarantined']} tag(s) quarantined at end"
+        )
+        for reader, row in cal["bias_table"].items():
+            lines.append(
+                f"    bias {reader:<12} injected {row['injected_db']:+7.3f} dB"
+                f"  estimated {row['estimated_db']:+7.3f} dB"
+            )
+        for event in cal["events"]:
+            lines.append(
+                f"    t={event['t']:6.1f}s  {event['event']:<10} {event['tag']}"
+            )
     return "\n".join(lines)
 
 

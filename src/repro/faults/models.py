@@ -273,6 +273,14 @@ class TagDeathFault:
         RSSI sag rate during the ``decay_duration_s`` before death.
     decay_duration_s:
         Length of the brown-out ramp preceding death.
+    recovery_time_s:
+        Optional battery swap: at this instant the tag resumes beaconing
+        at full power (no sag — fresh battery) and a ``tag_recovery``
+        event is emitted. Must be strictly after the death time; with a
+        random death draw, after the whole ``death_window_s``. Lets
+        fault-end recovery — e.g. a quarantined reference tag being
+        readmitted (:mod:`repro.calibration`) — be exercised
+        deterministically.
     """
 
     tag_id: str
@@ -280,6 +288,7 @@ class TagDeathFault:
     death_window_s: tuple[float, float] = (30.0, 120.0)
     decay_db_per_s: float = 0.0
     decay_duration_s: float = 0.0
+    recovery_time_s: float | None = None
 
     def __post_init__(self) -> None:
         if not self.tag_id:
@@ -296,6 +305,16 @@ class TagDeathFault:
                 f"decay_db_per_s must be >= 0, got {self.decay_db_per_s}"
             )
         _ensure_time(self.decay_duration_s, "decay_duration_s")
+        if self.recovery_time_s is not None:
+            _ensure_time(self.recovery_time_s, "recovery_time_s")
+            death_bound = (
+                self.death_time_s if self.death_time_s is not None else hi
+            )
+            if self.recovery_time_s <= death_bound:
+                raise ConfigurationError(
+                    f"recovery_time_s must be > the death time "
+                    f"({death_bound}), got {self.recovery_time_s}"
+                )
 
     def compile(self, rng: np.random.Generator) -> "_CompiledTagDeath":
         if self.death_time_s is not None:
@@ -311,10 +330,21 @@ class _CompiledTagDeath:
         self.model = model
         self.death_time_s = death_time_s
         self._announced = False
+        self._recovered = False
 
     def apply(self, record, now_s, emit):
         m = self.model
         if record.tag_id != m.tag_id:
+            return [(now_s, record)]
+        if m.recovery_time_s is not None and now_s >= m.recovery_time_s:
+            # Battery swapped: full power again, no sag.
+            if not self._recovered:
+                self._recovered = True
+                emit(
+                    "tag_recovery",
+                    tag=m.tag_id,
+                    recovery_t=float(m.recovery_time_s),
+                )
             return [(now_s, record)]
         if now_s >= self.death_time_s:
             if not self._announced:
@@ -346,6 +376,12 @@ class CalibrationDriftFault:
     ``start_s`` on, every record of ``reader_id`` gains
     ``drift_db_per_s * elapsed`` dB of systematic bias (clamped at
     ``max_drift_db``) plus optional Gaussian calibration jitter.
+
+    ``reset_at_s`` models a *step recalibration* — an operator zeroes
+    the reader's bias at that instant (the accumulated drift vanishes in
+    one step), after which the same aging process resumes from zero.
+    The discontinuity is what makes a corrector's re-convergence after
+    an ops recalibration testable (:mod:`repro.calibration`).
     """
 
     reader_id: str
@@ -353,6 +389,7 @@ class CalibrationDriftFault:
     start_s: float = 0.0
     max_drift_db: float | None = None
     jitter_db: float = 0.0
+    reset_at_s: float | None = None
 
     def __post_init__(self) -> None:
         if not self.reader_id:
@@ -370,12 +407,27 @@ class CalibrationDriftFault:
             raise ConfigurationError(
                 f"jitter_db must be >= 0, got {self.jitter_db}"
             )
+        if self.reset_at_s is not None:
+            _ensure_time(self.reset_at_s, "reset_at_s")
+            if self.reset_at_s <= self.start_s:
+                raise ConfigurationError(
+                    f"reset_at_s must be > start_s ({self.start_s}), "
+                    f"got {self.reset_at_s}"
+                )
 
     def bias_at(self, now_s: float) -> float:
-        """Deterministic bias component at ``now_s``."""
-        if now_s <= self.start_s:
+        """Deterministic bias component at ``now_s``.
+
+        A ``reset_at_s`` recalibration moves the drift origin: at and
+        after the reset the accumulated bias is zeroed and aging
+        restarts from the reset instant.
+        """
+        origin = self.start_s
+        if self.reset_at_s is not None and now_s >= self.reset_at_s:
+            origin = self.reset_at_s
+        if now_s <= origin:
             return 0.0
-        bias = self.drift_db_per_s * (now_s - self.start_s)
+        bias = self.drift_db_per_s * (now_s - origin)
         if self.max_drift_db is not None:
             bias = max(-self.max_drift_db, min(self.max_drift_db, bias))
         return bias
@@ -388,11 +440,23 @@ class _CompiledDrift:
     def __init__(self, model: CalibrationDriftFault, rng: np.random.Generator):
         self.model = model
         self._rng = rng
+        self._reset_announced = False
 
     def apply(self, record, now_s, emit):
         m = self.model
         if record.reader_id != m.reader_id:
             return [(now_s, record)]
+        if (
+            m.reset_at_s is not None
+            and now_s >= m.reset_at_s
+            and not self._reset_announced
+        ):
+            self._reset_announced = True
+            emit(
+                "calibration_reset",
+                reader=m.reader_id,
+                reset_t=float(m.reset_at_s),
+            )
         delta = m.bias_at(now_s)
         if m.jitter_db > 0.0:
             delta += float(self._rng.normal(0.0, m.jitter_db))

@@ -107,7 +107,7 @@ class FaultPlan:
 # Named intensity presets (CLI + resilience benchmark)
 # ---------------------------------------------------------------------------
 
-CHAOS_PRESETS = ("none", "light", "moderate", "severe")
+CHAOS_PRESETS = ("none", "light", "moderate", "severe", "drift")
 
 
 def chaos_preset(
@@ -127,7 +127,13 @@ def chaos_preset(
         ``"moderate"`` — a solid single-reader outage plus burst loss
         and one reference-tag death;
         ``"severe"`` — a solid outage, a flapping second reader, heavy
-        burst loss, calibration drift and delayed delivery.
+        burst loss, calibration drift and delayed delivery;
+        ``"drift"`` — the calibration stress level: three readers drift
+        at staggered onsets (one with a step recalibration mid-run) and
+        one reference tag browns out, dies and recovers after a battery
+        swap. No outages or record loss — every record arrives, some of
+        them *wrong*, which is exactly the failure mode the
+        :mod:`repro.calibration` loop exists to heal.
     seed:
         Plan seed (drives the stochastic faults).
     start_s:
@@ -170,6 +176,44 @@ def chaos_preset(
                     duration_s=duration_s,
                 ),
                 TagDeathFault("ref-5", death_time_s=start_s + 4.0),
+            ],
+            seed=seed,
+        )
+    if name == "drift":
+        # Calibration-stress preset: staggered multi-reader drift (one
+        # reader gets an ops recalibration step mid-run) plus one
+        # decaying reference tag that dies and later gets a battery
+        # swap. Deliberately no outages and no record loss — the lattice
+        # keeps *looking* healthy while its values rot, so only the
+        # closed calibration loop can tell.
+        return FaultPlan(
+            [
+                CalibrationDriftFault(
+                    "reader-0",
+                    drift_db_per_s=0.30,
+                    start_s=start_s,
+                    max_drift_db=9.0,
+                ),
+                CalibrationDriftFault(
+                    "reader-1",
+                    drift_db_per_s=-0.20,
+                    start_s=start_s + 4.0,
+                    max_drift_db=7.0,
+                ),
+                CalibrationDriftFault(
+                    "reader-2",
+                    drift_db_per_s=0.25,
+                    start_s=start_s + 8.0,
+                    max_drift_db=6.0,
+                    reset_at_s=start_s + 24.0,
+                ),
+                TagDeathFault(
+                    "ref-5",
+                    death_time_s=start_s + 8.0,
+                    decay_db_per_s=4.0,
+                    decay_duration_s=8.0,
+                    recovery_time_s=start_s + 31.0,
+                ),
             ],
             seed=seed,
         )

@@ -76,15 +76,17 @@ class SmoothingSpec:
 class _Series:
     """Smoothed RSSI state for one (reader, tag) pair."""
 
-    __slots__ = ("history", "ewma", "last_time")
+    __slots__ = ("history", "ewma", "last_time", "_window_cache")
 
     def __init__(self, window: int):
         self.history: deque[float] = deque(maxlen=window)
         self.ewma: float | None = None
         self.last_time: float = -np.inf
+        self._window_cache: float | None = None
 
     def update(self, rssi: float, time_s: float, spec: SmoothingSpec) -> None:
         self.history.append(rssi)
+        self._window_cache = None
         if self.ewma is None:
             self.ewma = rssi
         else:
@@ -95,7 +97,12 @@ class _Series:
         if not self.history:
             raise ReadingError("series has no readings")
         if spec.mode == "window":
-            return float(np.mean(self.history))
+            # Memoized between ingests: every snapshot (and the
+            # calibration loop's reference sweep) re-reads each series
+            # several times per tick.
+            if self._window_cache is None:
+                self._window_cache = float(np.mean(self.history))
+            return self._window_cache
         if spec.mode == "ewma":
             assert self.ewma is not None
             return float(self.ewma)
@@ -301,6 +308,27 @@ class MiddlewareServer:
             timestamp=now_s,
             masked=masked,
         )
+
+    def reference_matrix(self, now_s: float) -> np.ndarray:
+        """Smoothed reference-tag RSSI as one ``(K, n_refs)`` matrix.
+
+        Row order is :attr:`reader_ids`, column order
+        :attr:`reference_ids` — the same layout as a snapshot's
+        ``reference_rssi``. Missing or stale series are NaN. This is the
+        calibration loop's per-tick observation: reference tags sit at
+        known positions, so the difference between this matrix and a
+        clean baseline is pure calibration error plus noise
+        (:mod:`repro.calibration`).
+        """
+        out = np.full(
+            (len(self.reader_ids), len(self.reference_ids)), np.nan
+        )
+        for i, reader_id in enumerate(self.reader_ids):
+            for j, ref_id in enumerate(self.reference_ids):
+                value = self._smoothed(reader_id, ref_id, now_s)
+                if value is not None:
+                    out[i, j] = value
+        return out
 
     def coverage(self, now_s: float) -> dict[str, float]:
         """Fraction of fresh (reader, reference-tag) series per reader.

@@ -65,6 +65,7 @@ from ..exceptions import (
     ReadingError,
     ReproError,
 )
+from ..calibration import CalibrationPolicy, DriftCorrector
 from ..geometry.grid import ReferenceGrid
 from ..hardware.middleware import MiddlewareServer
 from ..obs import current_tracer
@@ -130,6 +131,15 @@ class ServiceConfig:
     breaker_failure_threshold / breaker_recovery_timeout_s:
         Per-reader circuit-breaker tuning (see
         :class:`~repro.service.health.BreakerPolicy`).
+    calibration:
+        Optional :class:`~repro.calibration.CalibrationPolicy` enabling
+        the self-healing calibration loop: per-reader drift corrections
+        estimated online from reference-tag residuals and applied to
+        every snapshot before estimation, plus a reference-tag
+        quarantine state machine excising anomalous tags from the
+        interpolation lattice (docs/CALIBRATION.md). ``None`` (the
+        default) disables the loop entirely — the pipeline is then
+        bit-identical to a build without it.
     health_freshness_floor:
         Per-reader middleware freshness below which a batch counts as a
         breaker failure for that reader.
@@ -173,6 +183,7 @@ class ServiceConfig:
     breaker_failure_threshold: int = 3
     breaker_recovery_timeout_s: float = 10.0
     health_freshness_floor: float = 0.5
+    calibration: CalibrationPolicy | None = None
     engine: EngineConfig = field(default_factory=EngineConfig)
     runtime: RuntimePolicy = field(default_factory=RuntimePolicy)
 
@@ -207,6 +218,13 @@ class ServiceConfig:
             raise ConfigurationError(
                 f"health_freshness_floor must be in (0, 1], "
                 f"got {self.health_freshness_floor}"
+            )
+        if self.calibration is not None and not isinstance(
+            self.calibration, CalibrationPolicy
+        ):
+            raise ConfigurationError(
+                f"calibration must be a CalibrationPolicy or None, "
+                f"got {type(self.calibration).__name__}"
             )
         # Remaining fields are validated by the components they configure
         # (QuorumPolicy, BreakerPolicy, the queue, the batcher, ...).
@@ -300,6 +318,14 @@ class ServicePipeline:
             freshness_floor=self.config.health_freshness_floor,
             metrics=self.metrics,
         )
+        self.calibration: DriftCorrector | None = None
+        if self.config.calibration is not None:
+            self.calibration = DriftCorrector(
+                middleware.reader_ids,
+                middleware.reference_ids,
+                self.config.calibration,
+                metrics=self.metrics,
+            )
         self.queue = BoundedRecordQueue(
             self.config.queue_capacity, overflow=self.config.queue_overflow
         )
@@ -377,6 +403,40 @@ class ServicePipeline:
         self._c_requests.inc()
         return request
 
+    # -- calibration loop ----------------------------------------------------
+
+    def arm_calibration(self, now_s: float) -> None:
+        """Capture the corrector's clean baseline (end of warm-up).
+
+        Sessions call this after warm-up completes and *before* the
+        fault injector attaches, so the baseline is trustworthy by
+        construction. A no-op when the loop is disabled. Runs on resumed
+        sessions too — warm-up is replayed identically, so the baseline
+        (and everything the corrector derives from it) reconstructs
+        bit-exactly.
+        """
+        if self.calibration is None:
+            return
+        with current_tracer().span("calibration.arm") as sp:
+            self.calibration.arm(
+                self.middleware.reference_matrix(now_s), now_s
+            )
+            sp.set("t", float(now_s))
+            sp.set("references", len(self.calibration.reference_ids))
+
+    def _observe_calibration(self, now_s: float) -> None:
+        """One residual-window tick; runs in live *and* replay batches."""
+        if self.calibration is None or not self.calibration.armed:
+            return
+        with current_tracer().span("calibration.observe") as sp:
+            self.calibration.observe(
+                self.middleware.reference_matrix(now_s), now_s
+            )
+            excised = self.calibration.excised_tags()
+            sp.set("quarantined", len(excised))
+            if excised:
+                sp.set("excised_tags", list(excised))
+
     # -- batch execution -----------------------------------------------------
 
     def process_due(
@@ -438,6 +498,10 @@ class ServicePipeline:
                     self.middleware.reader_freshness(now_s), now_s
                 )
                 self.health.allowed_readers(now_s)
+                # The corrector is replay-reconstructed state too: its
+                # residual window, bias estimates and quarantine
+                # machines are pure functions of the stream.
+                self._observe_calibration(now_s)
                 return []
 
             # Health first: with the middleware state frozen for the batch,
@@ -448,9 +512,11 @@ class ServicePipeline:
             blocked = frozenset(self.middleware.reader_ids) - allowed
             if blocked:
                 bsp.set("blocked_readers", sorted(str(r) for r in blocked))
+            self._observe_calibration(now_s)
 
             snapshots: dict[str, Any] = {}
             allow_partial = self.config.allow_partial
+            corrected_tags: set[str] = set()
 
             def fetch(tag_id: str):
                 if tag_id not in snapshots:
@@ -460,6 +526,13 @@ class ServicePipeline:
                         )
                         if allow_partial and blocked:
                             reading = self._exclude_readers(reading, blocked)
+                        if reading is not None and self.calibration is not None:
+                            corrected = self.calibration.correct_reading(
+                                reading
+                            )
+                            if corrected is not reading:
+                                corrected_tags.add(tag_id)
+                            reading = corrected
                         snapshots[tag_id] = reading
                     except ReadingError:
                         snapshots[tag_id] = None
@@ -543,6 +616,12 @@ class ServicePipeline:
                     results.append(result)
             self._sync_cache_metrics()
             self._sync_frame_metrics()
+            if corrected_tags:
+                # Ladder annotation: which answers in this batch were
+                # served from calibration-corrected (or quarantine-
+                # excised) snapshots. The ladder levels themselves are
+                # untouched — correction happens *before* the ladder.
+                bsp.set("calibration_corrected_tags", sorted(corrected_tags))
             if self.cache is not None:
                 # Per-batch cache deltas: the trace-summary ladder
                 # breakdown sums these (deterministic under seeded runs).
@@ -852,10 +931,11 @@ class ServicePipeline:
         Everything else — queue contents, middleware series, breaker
         states, batcher counters, cache statistics — is a deterministic
         function of the seeded stream and is reconstructed by replay;
-        the breaker states are still recorded so resume can *verify* the
-        reconstruction (:meth:`verify_replay`).
+        the breaker states (and, when enabled, the calibration
+        corrector's state) are still recorded so resume can *verify*
+        the reconstruction (:meth:`verify_replay`).
         """
-        return {
+        state: dict[str, Any] = {
             "last_estimate": {
                 tag: [float(p[0]), float(p[1])]
                 for tag, p in sorted(self._last_estimate.items())
@@ -880,6 +960,12 @@ class ServicePipeline:
                 for rid, b in sorted(self.health.breakers.items())
             },
         }
+        if self.calibration is not None:
+            # Replay-verified like the breakers; absent when the loop is
+            # disabled so those checkpoints stay byte-identical to
+            # pre-calibration builds.
+            state["calibration"] = self.calibration.checkpoint_state()
+        return state
 
     def restore_checkpoint_state(
         self,
@@ -948,6 +1034,21 @@ class ServicePipeline:
                     f"replay diverged on requests counter: reconstructed "
                     f"{got_requests}, checkpoint {counters['requests']}"
                 )
+        if "calibration" in state:
+            from ..runtime.checkpoint import jsonable
+
+            if self.calibration is None:
+                raise CheckpointError(
+                    "checkpoint was written with the calibration loop "
+                    "enabled; this session has it disabled"
+                )
+            got_cal = jsonable(self.calibration.checkpoint_state())
+            want_cal = jsonable(state["calibration"])
+            if got_cal != want_cal:
+                raise CheckpointError(
+                    f"replay diverged on calibration state: reconstructed "
+                    f"{got_cal}, checkpoint {want_cal}"
+                )
         log_event(self._logger, "replay_verified")
 
     # -- zone handoff --------------------------------------------------------
@@ -978,12 +1079,18 @@ class ServicePipeline:
         """Every result served so far, in completion order."""
         return tuple(self._results)
 
+    def calibration_events(self) -> tuple:
+        """Quarantine/probation/readmit events (empty when disabled)."""
+        if self.calibration is None:
+            return ()
+        return self.calibration.events
+
     def metrics_summary(self) -> dict[str, float]:
         """The headline numbers the ``serve`` command prints."""
         degraded = self._c_degraded.value
         served = self._c_results.value
         requests = self._c_requests.value
-        return {
+        summary = {
             "requests": requests,
             "results": served,
             "failed": self._c_failed.value,
@@ -1010,3 +1117,9 @@ class ServicePipeline:
             "latency_p50_s": self._h_latency.quantile(0.50),
             "latency_p99_s": self._h_latency.quantile(0.99),
         }
+        if self.calibration is not None:
+            # calibration_* keys exist only when the loop is enabled —
+            # a disabled pipeline's summary stays byte-identical to a
+            # pre-calibration build's.
+            summary.update(self.calibration.summary())
+        return summary

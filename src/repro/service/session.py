@@ -132,12 +132,17 @@ class SessionReport:
         Per-result localization error in metres against the deployment's
         ground truth (same order as ``results``); empty when ground
         truth is unavailable for a tag.
+    calibration_events:
+        The drift corrector's quarantine/probation/readmit transitions,
+        in occurrence order (empty when the calibration loop is
+        disabled). JSON-native dicts; part of the determinism witness.
     """
 
     results: tuple[ServiceResult, ...]
     summary: Mapping[str, float]
     metrics: MetricsRegistry
     errors_m: tuple[float, ...] = ()
+    calibration_events: tuple[Mapping[str, Any], ...] = ()
 
     @property
     def mean_error_m(self) -> float:
@@ -162,12 +167,19 @@ class SessionReport:
         for r in self.results:
             if r.degraded and r.reason is not None:
                 reasons[r.reason] = reasons.get(r.reason, 0) + 1
-        return {
+        doc = {
             "results": [result_witness_entry(r) for r in self.results],
             "errors_m": [float(e) for e in self.errors_m],
             "n_results": len(self.results),
             "degraded_reasons": {k: reasons[k] for k in sorted(reasons)},
         }
+        if self.calibration_events:
+            # Present only when the calibration loop produced events, so
+            # pre-calibration witnesses stay byte-identical.
+            doc["calibration_events"] = [
+                dict(e) for e in self.calibration_events
+            ]
+        return doc
 
 
 class LocalizationService:
@@ -324,6 +336,9 @@ class LocalizationService:
                 with current_tracer().span("session.warmup") as wsp:
                     warmed_s = self._warm_up(stream, pipeline)
                     wsp.set("warmed_until_s", float(warmed_s))
+                # Baseline capture must land between warm-up (coverage
+                # complete, series clean) and the injector attaching.
+                pipeline.arm_calibration(simulator.now)
                 if injector is not None:
                     simulator.set_fault_injector(injector)
                 if restored is not None:
@@ -423,6 +438,7 @@ class LocalizationService:
         wall_s = self._perf_clock() - wall_start
         summary = dict(pipeline.metrics_summary())
         summary["session_duration_s"] = end_s - start_s
+        summary["session_end_s"] = float(end_s)
         summary["records_streamed"] = float(stream.records_streamed)
         summary["wall_time_s"] = wall_s
         summary["localizations_per_s"] = (
@@ -454,6 +470,7 @@ class LocalizationService:
             summary=summary,
             metrics=pipeline.metrics,
             errors_m=errors,
+            calibration_events=pipeline.calibration_events(),
         )
 
     # -- checkpoint plumbing -------------------------------------------------
@@ -466,7 +483,7 @@ class LocalizationService:
     ) -> dict[str, Any]:
         """Scenario identity written to (and checked against) a checkpoint."""
         environment = getattr(scenario, "environment", None)
-        return {
+        header = {
             "scenario": getattr(scenario, "name", None),
             "environment": getattr(environment, "name", None),
             "seed": getattr(scenario, "base_seed", None),
@@ -476,6 +493,13 @@ class LocalizationService:
             "query_interval_s": float(self.config.query_interval_s),
             "stream_step_s": float(self.config.stream_step_s),
         }
+        if self.config.calibration is not None:
+            # Identity key only when enabled: a calibrating session must
+            # not resume a non-calibrating checkpoint (and vice versa),
+            # while disabled sessions keep the pre-calibration header
+            # byte-identical.
+            header["calibration"] = True
+        return header
 
     @staticmethod
     def _validate_header(

@@ -201,7 +201,7 @@ class ZoneWorker:
         make resuming zone A's file into zone B fail loudly — the two
         zones are independent seeded worlds.
         """
-        return {
+        header: dict[str, Any] = {
             "zone": self.spec.zone_id,
             "environment": self.spec.environment.name,
             "seed": self.spec.seed,
@@ -214,6 +214,12 @@ class ZoneWorker:
             "query_interval_s": float(self.config.query_interval_s),
             "stream_step_s": float(self.config.stream_step_s),
         }
+        if self.config.calibration is not None:
+            # Zone identity includes the calibration loop: quarantine
+            # state is part of the checkpoint, so a calibrating worker
+            # must never resume a non-calibrating file (and vice versa).
+            header["calibration"] = True
+        return header
 
     # -- gateway tag surface -----------------------------------------------------
 
@@ -297,6 +303,9 @@ class ZoneWorker:
             ) as wsp:
                 warmed_s = self._warm_up(stream)
                 wsp.set("warmed_until_s", float(warmed_s))
+            # Per-zone corrector baseline: after warm-up (clean series),
+            # before this zone's fault injector attaches.
+            self.pipeline.arm_calibration(simulator.now)
             if self._fault_plan is not None:
                 from ..faults.injector import FaultInjector  # lazy: cycle
 
@@ -589,6 +598,7 @@ class ZoneWorker:
             summary=summary,
             metrics=pipeline.metrics,
             errors_m=errors,
+            calibration_events=pipeline.calibration_events(),
         )
 
     def run(

@@ -227,6 +227,34 @@ class TestTagDeathFault:
         with pytest.raises(ConfigurationError):
             TagDeathFault("t", decay_db_per_s=-1.0)
 
+    def test_recovery_restores_full_power_and_emits_once(self):
+        compiled = TagDeathFault(
+            "ref-3", death_time_s=10.0, decay_db_per_s=2.0,
+            decay_duration_s=4.0, recovery_time_s=20.0,
+        ).compile(rng())
+        emit = EmitLog()
+        assert compiled.apply(rec(tag="ref-3", t=12.0), 12.0, emit) == []
+        # Battery swap: records pass again at full power (no sag).
+        revived = rec(tag="ref-3", t=20.0, rssi=-50.0)
+        [(release, out)] = compiled.apply(revived, 20.0, emit)
+        assert release == 20.0 and out is revived
+        later = rec(tag="ref-3", t=25.0, rssi=-48.0)
+        assert compiled.apply(later, 25.0, emit) == [(25.0, later)]
+        kinds = [k for k, _ in emit.events]
+        assert kinds == ["tag_death", "tag_recovery"]
+        assert emit.events[1][1] == {"tag": "ref-3", "recovery_t": 20.0}
+
+    def test_recovery_must_follow_death(self):
+        with pytest.raises(ConfigurationError):
+            TagDeathFault("t", death_time_s=10.0, recovery_time_s=10.0)
+        with pytest.raises(ConfigurationError):
+            # Random draw: recovery must clear the whole window.
+            TagDeathFault(
+                "t", death_window_s=(5.0, 15.0), recovery_time_s=12.0
+            )
+        # Clearing the window is fine.
+        TagDeathFault("t", death_window_s=(5.0, 15.0), recovery_time_s=16.0)
+
 
 class TestCalibrationDriftFault:
     def test_bias_ramp_and_clamp(self):
@@ -252,6 +280,38 @@ class TestCalibrationDriftFault:
             rec(reader="reader-1", t=8.0, rssi=-60.0), 8.0, EmitLog()
         )
         assert out.rssi_dbm == pytest.approx(-58.0)
+
+    def test_reset_steps_bias_to_zero_then_drift_resumes(self):
+        fault = CalibrationDriftFault(
+            "reader-1", drift_db_per_s=0.5, start_s=10.0,
+            max_drift_db=20.0, reset_at_s=30.0,
+        )
+        assert fault.bias_at(29.9) == pytest.approx(9.95)
+        assert fault.bias_at(30.0) == 0.0  # ops recalibration: one step
+        assert fault.bias_at(34.0) == pytest.approx(2.0)  # aging resumes
+        assert fault.bias_at(1000.0) == 20.0  # clamp still applies
+
+    def test_reset_emits_calibration_reset_once(self):
+        compiled = CalibrationDriftFault(
+            "reader-1", drift_db_per_s=0.5, start_s=0.0, reset_at_s=10.0
+        ).compile(rng())
+        emit = EmitLog()
+        compiled.apply(rec(reader="reader-1", t=5.0), 5.0, emit)
+        compiled.apply(rec(reader="reader-1", t=10.0), 10.0, emit)
+        compiled.apply(rec(reader="reader-1", t=11.0), 11.0, emit)
+        assert emit.events == [
+            ("calibration_reset", {"reader": "reader-1", "reset_t": 10.0})
+        ]
+
+    def test_reset_must_follow_start(self):
+        with pytest.raises(ConfigurationError):
+            CalibrationDriftFault(
+                "reader-1", drift_db_per_s=0.5, start_s=10.0, reset_at_s=10.0
+            )
+        with pytest.raises(ConfigurationError):
+            CalibrationDriftFault(
+                "reader-1", drift_db_per_s=0.5, start_s=10.0, reset_at_s=-1.0
+            )
 
     def test_zero_bias_passes_same_object(self):
         compiled = CalibrationDriftFault(
@@ -356,7 +416,9 @@ class TestFaultPlan:
 
 
 class TestChaosPresets:
-    @pytest.mark.parametrize("name", ["none", "light", "moderate", "severe"])
+    @pytest.mark.parametrize(
+        "name", ["none", "light", "moderate", "severe", "drift"]
+    )
     def test_presets_compile(self, name: str):
         plan = chaos_preset(name, seed=1)
         compiled = plan.compile()
@@ -369,6 +431,20 @@ class TestChaosPresets:
             for n in ("none", "light", "moderate", "severe")
         ]
         assert sizes == sorted(sizes) and sizes[0] == 0
+
+    def test_drift_preset_shape(self):
+        # The calibration-stress level: wrong values, never missing
+        # ones — drift plus one decaying-but-recovering reference tag,
+        # no outages and no record loss.
+        plan = chaos_preset("drift", seed=1)
+        drifts = [f for f in plan if isinstance(f, CalibrationDriftFault)]
+        deaths = [f for f in plan if isinstance(f, TagDeathFault)]
+        assert len(drifts) + len(deaths) == len(plan)
+        assert len(drifts) >= 3
+        assert len({f.start_s for f in drifts}) == len(drifts)  # staggered
+        assert any(f.reset_at_s is not None for f in drifts)
+        [death] = deaths
+        assert death.decay_db_per_s > 0 and death.recovery_time_s is not None
 
     def test_unknown_preset_rejected(self):
         with pytest.raises(ConfigurationError, match="unknown chaos preset"):

@@ -234,7 +234,7 @@ class TestNamingConventions:
     duplicate or a ``repro_repro_*`` name.
     """
 
-    GAUGE_SUFFIXES = ("_ratio", "_depth", "_requests", "_seconds", "_bytes")
+    GAUGE_SUFFIXES = ("_ratio", "_depth", "_requests", "_seconds", "_bytes", "_db")
     HISTOGRAM_SUFFIXES = ("_seconds", "_requests", "_bytes")
 
     @staticmethod
@@ -298,6 +298,62 @@ class TestNamingConventions:
         hist = registry.get("obs_stage_vire_estimate_latency_seconds")
         assert hist.name == "repro_obs_stage_vire_estimate_latency_seconds"
         assert hist.name.endswith("_seconds")
+
+
+class TestCalibrationMetricNaming:
+    """The drift corrector's metrics obey the same naming audit."""
+
+    READERS = ("reader-0", "reader-1")
+    REFS = ("ref-0", "ref-1", "ref-2", "ref-3")
+
+    def _corrector(self, registry):
+        from repro.calibration import DriftCorrector
+
+        return DriftCorrector(self.READERS, self.REFS, metrics=registry)
+
+    def test_registers_the_expected_names(self):
+        registry = MetricsRegistry()
+        self._corrector(registry)
+        by_name = {m.name: m.kind for m in registry}
+        assert by_name == {
+            "repro_calibration_corrected_readings_total": "counter",
+            "repro_calibration_quarantine_transitions_total": "counter",
+            "repro_calibration_quarantine_ratio": "gauge",
+            "repro_calibration_max_abs_bias_db": "gauge",
+            "repro_calibration_bias_reader_0_db": "gauge",
+            "repro_calibration_bias_reader_1_db": "gauge",
+        }
+
+    def test_names_follow_the_audit_conventions(self):
+        registry = MetricsRegistry()
+        self._corrector(registry)
+        for metric in registry:
+            name = metric.name
+            assert name.startswith("repro_") and not name.startswith(
+                "repro_repro_"
+            ), name
+            if metric.kind == "counter":
+                assert name.endswith("_total"), name
+            else:
+                assert metric.kind == "gauge"
+                assert name.endswith(
+                    TestNamingConventions.GAUGE_SUFFIXES
+                ), name
+
+    def test_zone_worker_corrector_joins_the_zone_namespace(self):
+        registry = MetricsRegistry(zone="z0")
+        self._corrector(registry)
+        names = {m.name for m in registry}
+        assert names == {n for n in names if n.startswith("repro_zone_z0_calibration_")}
+        assert "repro_zone_z0_calibration_max_abs_bias_db" in names
+
+    def test_rebuilt_corrector_mints_no_duplicates(self):
+        registry = MetricsRegistry()
+        first = self._corrector(registry)
+        second = self._corrector(registry)  # session resumed over same registry
+        assert second is not first
+        names = [m.name for m in registry]
+        assert len(names) == len(set(names))
 
 
 class TestZoneNamespace:
