@@ -1,13 +1,23 @@
 """Batch-engine throughput: ``estimate_batch`` vs the scalar loop.
 
-The ISSUE-3 acceptance bar for :mod:`repro.engine`: at **T=64** tracking
-tags against one middleware snapshot on the paper's 4-reader lattice,
-the batch engine must deliver **>=5x** the localizations/sec of the
-scalar ``[est.estimate(r) for r in readings]`` loop while staying
-bitwise identical. A secondary (unscored) number measures the
-independent-trials regime — every reading carries its own reference
-draw, so interpolation sharing cannot help and the speedup reflects the
-vectorized kernels alone.
+Two scored regimes at **T=64** on the paper's 4-reader lattice, each
+gated at **>=5x** the localizations/sec of the scalar
+``[est.estimate(r) for r in readings]`` loop while staying bitwise
+identical:
+
+* *snapshot* — all T tags against one frozen reference lattice (the
+  service micro-batch shape; the original ISSUE-3 bar);
+* *independent* — every reading carries its own reference draw. Since
+  the content-grouped path (ISSUE-10), unique lattices are deduped by
+  byte content and pushed through one precomputed sparse bilinear
+  operator, so this regime is scored too — it is the common shape of
+  real traffic.
+
+A third (tolerance-scored, not bitwise) regime measures the opt-in
+``precision="relaxed"`` float32 tier on the independent workload: its
+speedup, its max-abs position deviation from the scalar path (gated at
+``RELAXED_TOL``), and that it makes identical degradation-ladder
+decisions.
 
 Run it via pytest (prints the JSON report)::
 
@@ -43,6 +53,9 @@ except ImportError:  # standalone: python benchmarks/bench_engine_batch.py
 T_TAGS = 64
 REPEATS = 7
 TARGET_SPEEDUP = 5.0
+#: Relaxed-tier bound on max-abs position deviation from the scalar
+#: path (metres). Mirrors tests/test_engine_differential.RELAXED_TOL.
+RELAXED_TOL = 1e-4
 SEED = 42
 
 
@@ -104,6 +117,45 @@ def _time_regime(est: VIREEstimator, readings) -> dict:
     }
 
 
+def _time_relaxed(est: VIREEstimator, readings) -> dict:
+    """The float32 tier on the same workload: speedup + tolerance.
+
+    Scalar float64 results are the reference; the relaxed tier must stay
+    within ``RELAXED_TOL`` of them while making the same ladder
+    decisions (here: every reading succeeds without fallback in both).
+    """
+    from repro.engine.batch import BatchEngine
+
+    engine = BatchEngine(est, precision="relaxed")
+    engine.estimate_batch(readings[:4])  # warm
+    best_scalar = best_relaxed = float("inf")
+    scalar = relaxed = None
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        scalar = [est.estimate(r) for r in readings]
+        best_scalar = min(best_scalar, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        relaxed = engine.estimate_batch(readings)
+        best_relaxed = min(best_relaxed, time.perf_counter() - t0)
+    max_abs_err = max(
+        max(abs(r.position[0] - s.position[0]), abs(r.position[1] - s.position[1]))
+        for s, r in zip(scalar, relaxed)
+    )
+    ladder_mismatches = sum(
+        1
+        for s, r in zip(scalar, relaxed)
+        if s.diagnostics.get("fallback") != r.diagnostics.get("fallback")
+    )
+    return {
+        "scalar_wall_s": best_scalar,
+        "relaxed_wall_s": best_relaxed,
+        "relaxed_localizations_per_s": len(readings) / best_relaxed,
+        "speedup": best_scalar / best_relaxed,
+        "max_abs_position_error_m": max_abs_err,
+        "ladder_mismatches": ladder_mismatches,
+    }
+
+
 def run_benchmark() -> dict:
     grid, snapshot, independent = _build_readings()
     est = VIREEstimator(grid, VIREConfig(target_total_tags=900))
@@ -115,20 +167,38 @@ def run_benchmark() -> dict:
         "config": {"target_total_tags": 900},
         "seed": SEED,
         "repeats": REPEATS,
-        # The scored regime: T tags against one snapshot (ISSUE-3 bar).
+        # Scored: T tags against one snapshot (the original ISSUE-3 bar).
         "snapshot": _time_regime(est, snapshot),
-        # Unscored context: per-reading reference draws, kernels only.
+        # Scored since ISSUE-10: per-reading reference draws through the
+        # content-grouped sparse-operator path.
         "independent": _time_regime(est, independent),
+        # Tolerance-scored: the opt-in float32 tier on the independent
+        # workload.
+        "relaxed_independent": _time_relaxed(est, independent),
     }
+    relaxed = report["relaxed_independent"]
     report["acceptance"] = {
         "target_speedup": TARGET_SPEEDUP,
-        "achieved_speedup": round(report["snapshot"]["speedup"], 2),
-        "speedup_ok": report["snapshot"]["speedup"] >= TARGET_SPEEDUP,
+        "snapshot_speedup": round(report["snapshot"]["speedup"], 2),
+        "independent_speedup": round(report["independent"]["speedup"], 2),
+        "snapshot_ok": report["snapshot"]["speedup"] >= TARGET_SPEEDUP,
+        "independent_ok": report["independent"]["speedup"] >= TARGET_SPEEDUP,
         "bitwise_identical": (
             report["snapshot"]["position_mismatches"] == 0
             and report["independent"]["position_mismatches"] == 0
         ),
+        "relaxed_tolerance": RELAXED_TOL,
+        "relaxed_ok": (
+            relaxed["max_abs_position_error_m"] <= RELAXED_TOL
+            and relaxed["ladder_mismatches"] == 0
+        ),
     }
+    report["acceptance"]["passed"] = (
+        report["acceptance"]["snapshot_ok"]
+        and report["acceptance"]["independent_ok"]
+        and report["acceptance"]["bitwise_identical"]
+        and report["acceptance"]["relaxed_ok"]
+    )
     return report
 
 
@@ -137,9 +207,17 @@ def bench_engine_batch_speedup():
     emit("Batch engine: estimate_batch vs scalar loop", json.dumps(report, indent=2))
     acc = report["acceptance"]
     assert acc["bitwise_identical"], report
-    assert acc["speedup_ok"], (
-        f"batch speedup {acc['achieved_speedup']}x below the "
+    assert acc["snapshot_ok"], (
+        f"snapshot speedup {acc['snapshot_speedup']}x below the "
         f"{TARGET_SPEEDUP}x acceptance bar"
+    )
+    assert acc["independent_ok"], (
+        f"independent-path speedup {acc['independent_speedup']}x below the "
+        f"{TARGET_SPEEDUP}x acceptance bar"
+    )
+    assert acc["relaxed_ok"], (
+        "relaxed tier out of tolerance: "
+        f"{report['relaxed_independent']}"
     )
 
 
@@ -153,6 +231,6 @@ if __name__ == "__main__":
     path = pathlib.Path(__file__).resolve().parent.parent / "BENCH_engine_batch.json"
     path.write_text(text + "\n")
     print(f"wrote {path}", file=sys.stderr)
-    if not (out["acceptance"]["speedup_ok"] and out["acceptance"]["bitwise_identical"]):
+    if not out["acceptance"]["passed"]:
         print("acceptance FAILED", file=sys.stderr)
         sys.exit(1)

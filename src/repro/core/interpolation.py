@@ -38,8 +38,10 @@ __all__ = [
     "BilinearInterpolator",
     "PolynomialInterpolator",
     "SplineInterpolator",
+    "SparseBilinearOperator",
     "make_interpolator",
     "fill_masked_lattice",
+    "check_lattice",
 ]
 
 
@@ -124,7 +126,13 @@ class GridInterpolator(Protocol):
         ...
 
 
-def _check_lattice(lattice: np.ndarray, virtual_grid: VirtualGrid) -> np.ndarray:
+def check_lattice(lattice: np.ndarray, virtual_grid: VirtualGrid) -> np.ndarray:
+    """Validate an interpolation input lattice (shape + finiteness).
+
+    Every interpolator runs this first; the batch engine's grouped path
+    runs it per *unique* lattice so its rejections carry exactly the
+    errors the scalar interpolators would raise.
+    """
     grid = virtual_grid.grid
     arr = np.asarray(lattice, dtype=np.float64)
     if arr.shape != (grid.rows, grid.cols):
@@ -134,6 +142,9 @@ def _check_lattice(lattice: np.ndarray, virtual_grid: VirtualGrid) -> np.ndarray
     if not np.all(np.isfinite(arr)):
         raise ConfigurationError("RSSI lattice contains non-finite values")
     return arr
+
+
+_check_lattice = check_lattice
 
 
 class BilinearInterpolator:
@@ -174,6 +185,132 @@ class BilinearInterpolator:
             + (1.0 - fy) * fx * se
             + fy * (1.0 - fx) * nw
             + fy * fx * ne
+        )
+
+
+class SparseBilinearOperator:
+    """:class:`BilinearInterpolator` extracted as a precomputed sparse map.
+
+    Bilinear interpolation is *linear in the lattice*: every virtual tag
+    is a fixed convex (inside the grid) combination of its cell's four
+    corner tags. For a fixed ``(grid, virtual_grid)`` pair the whole
+    interpolation is therefore one sparse ``(V, rows*cols)`` matrix with
+    exactly four non-zeros per row — corner indices and corner weights —
+    that never changes across readings. This class precomputes that
+    operator once and applies it to a whole *stack* of lattices in one
+    vectorized gather + multiply-add, which is how the batch engine's
+    grouped path amortizes interpolation on independent-path batches
+    (every reading its own lattice).
+
+    **Bitwise contract**: ``apply(stack)[m]`` is bit-for-bit equal to
+    ``BilinearInterpolator().interpolate(stack[m], virtual_grid)``. The
+    weight planes are computed with the very expressions the scalar
+    interpolator uses (``(1-fy)*(1-fx)`` …), and the four-term
+    combination is evaluated elementwise with the same left-to-right
+    association, so every IEEE-754 operation matches the scalar path
+    operand-for-operand. Enforced by ``tests/test_engine_grouping.py``.
+    """
+
+    def __init__(self, virtual_grid: VirtualGrid):
+        grid = virtual_grid.grid
+        if grid.rows < 2 or grid.cols < 2:
+            raise ConfigurationError(
+                "bilinear operator extraction needs a >=2x2 reference grid, "
+                f"got {grid.rows}x{grid.cols}"
+            )
+        self.virtual_grid = virtual_grid
+        fi, fj = virtual_grid.fractional_indices()
+        a = np.clip(np.floor(fi).astype(np.intp), 0, grid.rows - 2)
+        b = np.clip(np.floor(fj).astype(np.intp), 0, grid.cols - 2)
+        fy = (fi - a)[:, np.newaxis]
+        fx = (fj - b)[np.newaxis, :]
+        # The scalar interpolator evaluates e.g. ``(1-fy)*(1-fx)*sw`` as
+        # ``((1-fy)*(1-fx)) * sw`` — the weight product is a standalone
+        # subexpression, so precomputing it preserves bitwise identity.
+        self._weights = np.stack(
+            [
+                (1.0 - fy) * (1.0 - fx),
+                (1.0 - fy) * fx,
+                fy * (1.0 - fx),
+                fy * fx,
+            ]
+        )  # (4, v_rows, v_cols)
+        aa = a[:, np.newaxis]
+        bb = b[np.newaxis, :]
+        self._indices = np.stack(
+            [
+                aa * grid.cols + bb,
+                aa * grid.cols + (bb + 1),
+                (aa + 1) * grid.cols + bb,
+                (aa + 1) * grid.cols + (bb + 1),
+            ]
+        )  # (4, v_rows, v_cols) flat lattice indices
+
+    @property
+    def nnz_per_row(self) -> int:
+        """Non-zeros per operator row (the four cell corners)."""
+        return 4
+
+    def apply(self, stack: np.ndarray, *, dtype=np.float64) -> np.ndarray:
+        """Interpolate ``M`` lattices at once.
+
+        Parameters
+        ----------
+        stack:
+            ``(M, rows, cols)`` or ``(M, rows*cols)`` finite lattices.
+        dtype:
+            ``np.float64`` (default) computes exactly the scalar
+            interpolator's bits; ``np.float32`` is the relaxed tier —
+            inputs and weights are cast down and the combination runs in
+            single precision.
+
+        Returns
+        -------
+        ``(M, v_rows, v_cols)`` virtual surfaces.
+        """
+        arr = np.asarray(stack, dtype=dtype)
+        m = arr.shape[0]
+        flat = arr.reshape(m, -1)
+        grid = self.virtual_grid.grid
+        if flat.shape[1] != grid.rows * grid.cols:
+            raise ConfigurationError(
+                f"lattice stack shape {arr.shape} mismatches grid "
+                f"{grid.rows}x{grid.cols}"
+            )
+        w = self._weights
+        if dtype is not np.float64:
+            w = w.astype(dtype)
+        # One gather for all four corners: (M, 4, v_rows, v_cols), then
+        # scale the gathered block in place and accumulate the corner
+        # terms left-to-right. Finite IEEE-754 multiplication is
+        # bitwise commutative, so ``g * w`` equals the scalar's
+        # ``weight * corner`` term for term, and the in-place adds keep
+        # the scalar's left association ``((t0+t1)+t2)+t3`` — only the
+        # temporary-array traffic changes.
+        g = flat[:, self._indices]
+        np.multiply(g, w[np.newaxis], out=g)
+        out = g[:, 0] + g[:, 1]
+        out += g[:, 2]
+        out += g[:, 3]
+        return out
+
+    def to_scipy_csr(self):
+        """The operator as an explicit ``(V, rows*cols)`` CSR matrix.
+
+        For inspection and cross-validation only — ``apply`` keeps the
+        gather form because a generic sparse matvec does not guarantee
+        the scalar path's summation order.
+        """
+        from scipy import sparse
+
+        v_rows, v_cols = self.virtual_grid.shape
+        n_out = v_rows * v_cols
+        rows = np.repeat(np.arange(n_out), 4)
+        cols = self._indices.reshape(4, -1).T.ravel()
+        data = self._weights.reshape(4, -1).T.ravel()
+        grid = self.virtual_grid.grid
+        return sparse.csr_matrix(
+            (data, (rows, cols)), shape=(n_out, grid.rows * grid.cols)
         )
 
 

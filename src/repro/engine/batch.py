@@ -28,11 +28,12 @@ from typing import Sequence
 import numpy as np
 
 from ..baselines.landmarc import LandmarcEstimator
-from ..core.interpolation import fill_masked_lattice
+from ..core.interpolation import check_lattice, fill_masked_lattice
 from ..exceptions import ConfigurationError, EstimationError, ReproError
 from ..obs import current_tracer
 from ..types import EstimateResult, TrackingReading
 from . import kernels
+from .grouping import LatticeTable, operator_for
 
 __all__ = ["BatchEngine", "BatchLandmarc", "estimate_all"]
 
@@ -58,10 +59,37 @@ class BatchEngine:
         engine reuses its grid, config, interpolator, quorum policy and
         (if any) interpolation cache, so one engine serves wherever the
         scalar estimator would.
+    precision:
+        ``"exact"`` (default) keeps the bitwise-identity contract
+        against the scalar path. ``"relaxed"`` runs interpolation and
+        weighting in float32 — an opt-in throughput tier whose results
+        are tolerance-bounded (not bit-equal) against the scalar path;
+        it bypasses any injected interpolation cache (the cache stores
+        float64 surfaces with scalar-exact accounting, which a float32
+        pipeline cannot honour) and is rejected wherever goldens or
+        checkpoints are produced. The ladder semantics — quorum
+        refusals, fallback routing, error types — are unchanged.
     """
 
-    def __init__(self, estimator) -> None:
+    def __init__(self, estimator, *, precision: str = "exact") -> None:
+        if precision not in ("exact", "relaxed"):
+            raise ConfigurationError(
+                f"precision must be 'exact' or 'relaxed', got {precision!r}"
+            )
         self.estimator = estimator
+        self.precision = precision
+        self._dtype = np.float64 if precision == "exact" else np.float32
+        self._op = None
+        self._op_built = False
+
+    @property
+    def _operator(self):
+        """Precomputed sparse interpolation operator (lazy; None when the
+        estimator's scheme is not the linear one)."""
+        if not self._op_built:
+            self._op = operator_for(self.estimator)
+            self._op_built = True
+        return self._op
 
     # -- public API ----------------------------------------------------------
 
@@ -116,35 +144,45 @@ class BatchEngine:
                 psp.set("prepared", len(prepared))
                 psp.set("rejected", len(readings) - len(prepared))
 
-            # Stage 2: shared interpolation (memoized per unique lattice).
-            # When the estimator has no injected cache (so no observable call
-            # sequence to preserve), readings that share the *same* reference
-            # array object — T tags against one middleware snapshot — skip
-            # even the per-reader lattice reconstruction: one (K, rows, cols)
-            # surface tensor serves them all. The readings list keeps every
-            # reading alive for the duration, so id()-keyed memoing is sound.
-            surface_memo: dict[bytes, np.ndarray] = {}
-            reading_memo: dict[tuple[int, bool], np.ndarray] = {}
-            dedup_readings = est.interpolation_cache is None
+            # Stage 2: shared interpolation, grouped by lattice *content*.
+            # Readings whose (reading, reader) lattices carry identical
+            # bytes share one interpolation — snapshot batches (T tags on
+            # one middleware snapshot) and independent batches (distinct
+            # readings per tag) alike — and for the linear scheme all
+            # unique lattices of the batch go through one precomputed
+            # sparse-operator pass. With an injected cache, the batched
+            # cache protocol keeps hit/miss/eviction accounting bitwise
+            # identical to the scalar lookup sequence; caches that don't
+            # speak it (or non-linear schemes) keep the sequential path.
+            # The relaxed tier bypasses the cache entirely (float64
+            # surfaces with scalar accounting can't be honoured by a
+            # float32 pipeline).
             ready: list[
                 tuple[int, TrackingReading, int | None, dict, np.ndarray]
             ] = []
             with tracer.span("engine.interpolate") as isp:
-                for idx, reading, min_votes, quorum_diag in prepared:
-                    try:
-                        key = (id(reading.reference_rssi), reading.masked)
-                        if dedup_readings and key in reading_memo:
-                            virtual = reading_memo[key]
-                        else:
-                            virtual = self._interpolate(reading, surface_memo)
-                            if dedup_readings:
-                                reading_memo[key] = virtual
-                        ready.append(
-                            (idx, reading, min_votes, quorum_diag, virtual)
-                        )
-                    except ReproError as exc:
-                        outcomes[idx] = exc
-                isp.set("unique_surfaces", len(surface_memo))
+                cache = (
+                    est.interpolation_cache
+                    if self.precision == "exact"
+                    else None
+                )
+                op = self._operator
+                table = None
+                if cache is None:
+                    ready, n_unique, table = self._interpolate_grouped(
+                        prepared, outcomes
+                    )
+                elif op is not None and hasattr(
+                    cache, "get_or_compute_many"
+                ):
+                    ready, n_unique = self._interpolate_cached(
+                        prepared, outcomes, cache, op
+                    )
+                else:
+                    ready, n_unique = self._interpolate_sequential(
+                        prepared, outcomes, cache
+                    )
+                isp.set("unique_surfaces", n_unique)
 
             # Stage 3: group by surviving reader count and vectorize.
             groups: dict[int, list[int]] = {}
@@ -156,7 +194,7 @@ class BatchEngine:
                     "engine.group", readers=readers_k, tags=len(members)
                 ):
                     self._estimate_group(
-                        [ready[pos] for pos in members], outcomes
+                        [ready[pos] for pos in members], outcomes, table
                     )
         return outcomes
 
@@ -179,53 +217,188 @@ class BatchEngine:
         if err is not None:
             raise err
 
-    def _interpolate(
-        self, reading: TrackingReading, memo: dict[bytes, np.ndarray]
-    ) -> np.ndarray:
-        """Per-reader virtual surfaces ``(K, v_rows, v_cols)``, shared.
+    def _interpolate_grouped(
+        self,
+        prepared: list[tuple[int, TrackingReading, int | None, dict]],
+        outcomes: list[Outcome],
+    ) -> tuple[list, int]:
+        """Cacheless (or relaxed) route: batch-wide content dedup.
 
-        Mirrors :meth:`VIREEstimator.interpolate_reading` (masked-hole
-        fill first, then the injected cache or the raw interpolator) but
-        computes each unique lattice only once per batch. Repeated
-        lattices — every tag of a snapshot sees the same reference
-        lattice per reader — are free.
+        Every (reading, reader) lattice is registered in one
+        :class:`~repro.engine.grouping.LatticeTable` keyed by lattice
+        content, so readings sharing bytes — same-snapshot tags *and*
+        independent readings that happen to agree — share one surface.
+        For the linear scheme all unique surfaces come from a single
+        vectorized operator pass; per-reading errors keep their scalar
+        type, message and reader order.
 
-        With an injected interpolation cache the *cache* is the dedup
-        layer: ``get_or_compute`` is called once per (reading, reader)
-        in exactly the scalar call sequence, so hit/miss statistics —
-        and the behaviour of history-dependent caches (quantized keys,
-        LRU eviction) — stay bitwise identical to the scalar loop.
-        The batch-local memo only kicks in for cacheless estimators,
-        where repeated lattices would otherwise be recomputed.
+        On the operator route the returned entries carry each reading's
+        *slot indices* (plus the table itself, as the third return
+        value) rather than materialized ``(K, v_rows, v_cols)`` tensors:
+        :meth:`_estimate_group` assembles a whole group's virtual tensor
+        with one :meth:`LatticeTable.gather` instead of T per-reading
+        copies. Non-operator schemes materialize per reading and return
+        ``None`` for the table.
+        """
+        op = self._operator
+        table = pending = None
+        if op is not None:
+            # Plain float64 unmasked blocks dedup in one vectorized
+            # byte-record pass instead of the per-reading dict loop.
+            blk = LatticeTable.from_block(
+                self.estimator, [entry[1] for entry in prepared]
+            )
+            if blk is not None:
+                table, slot_arrays = blk
+                pending = [
+                    (*entry, slot_arrays[j])
+                    for j, entry in enumerate(prepared)
+                ]
+        if table is None:
+            table = LatticeTable(self.estimator)
+            pending = [
+                (*entry, table.slots_for(entry[1])) for entry in prepared
+            ]
+        table.interpolate(op, dtype=self._dtype)
+        if op is not None:
+            if not table.n_errors:
+                return pending, len(table), table
+            rows = table._rows
+            ready = []
+            for entry in pending:
+                if (rows[entry[4]] >= 0).all():
+                    ready.append(entry)
+                else:
+                    outcomes[entry[0]] = table.error_for(entry[4])
+            return ready, len(table), table
+        ready = []
+        for idx, reading, min_votes, quorum_diag, slots in pending:
+            virtual = table.virtual_for(slots)
+            if isinstance(virtual, ReproError):
+                outcomes[idx] = virtual
+            else:
+                ready.append((idx, reading, min_votes, quorum_diag, virtual))
+        return ready, len(table), None
+
+    def _interpolate_cached(
+        self,
+        prepared: list[tuple[int, TrackingReading, int | None, dict]],
+        outcomes: list[Outcome],
+        cache,
+        op,
+    ) -> tuple[list, int]:
+        """Cached route: batched lookups, scalar-exact cache accounting.
+
+        Per-reader lattices are prepared up front (stopping a reading at
+        its first preparation error, as the scalar loop would), then all
+        lookups go through the cache's ``get_or_compute_many`` in the
+        exact scalar call sequence — hit/miss counts, LRU touch order
+        and eviction sequence stay bitwise identical — with the unique
+        misses computed in one vectorized operator pass. A validation
+        error inside the lookup sequence takes precedence over a later
+        reader's preparation error, mirroring where the scalar loop
+        raises first.
         """
         est = self.estimator
-        k = reading.n_readers
-        out = np.empty((k, *est.virtual_grid.shape))
-        cache = est.interpolation_cache
-        for i in range(k):
-            lattice = est.grid.lattice_from_flat(reading.reference_rssi[i])
-            if reading.masked:
-                lattice = fill_masked_lattice(lattice)
-            if cache is not None:
-                out[i] = cache.get_or_compute(
-                    lattice, est.virtual_grid, est._interpolator
+        grid, vgrid = est.grid, est.virtual_grid
+        entries = []
+        segments = []
+        for idx, reading, min_votes, quorum_diag in prepared:
+            lattices: list[np.ndarray] = []
+            prep_error: ReproError | None = None
+            for i in range(reading.n_readers):
+                try:
+                    lattice = grid.lattice_from_flat(reading.reference_rssi[i])
+                    if reading.masked:
+                        lattice = fill_masked_lattice(lattice)
+                except ReproError as exc:
+                    prep_error = exc
+                    break
+                lattices.append(lattice)
+            entries.append((idx, reading, min_votes, quorum_diag, prep_error))
+            segments.append(lattices)
+
+        def validate(lattice: np.ndarray) -> ReproError | None:
+            try:
+                check_lattice(lattice, vgrid)
+            except ReproError as exc:
+                return exc
+            return None
+
+        def compute_many(lattices: list[np.ndarray]) -> np.ndarray:
+            return op.apply(np.stack(lattices))
+
+        misses_before = cache.misses
+        resolved = cache.get_or_compute_many(
+            segments,
+            vgrid,
+            est._interpolator,
+            validate=validate,
+            compute_many=compute_many,
+        )
+        ready = []
+        for entry, res in zip(entries, resolved):
+            idx, reading, min_votes, quorum_diag, prep_error = entry
+            if isinstance(res, ReproError):
+                outcomes[idx] = res
+            elif prep_error is not None:
+                outcomes[idx] = prep_error
+            else:
+                virtual = np.empty(
+                    (reading.n_readers, *vgrid.shape)
                 )
-                continue
-            key = lattice.tobytes()
-            surface = memo.get(key)
-            if surface is None:
-                surface = est._interpolator.interpolate(
-                    lattice, est.virtual_grid
-                )
-                memo[key] = surface
-            out[i] = surface
-        return out
+                for i, surface in enumerate(res):
+                    virtual[i] = surface
+                ready.append((idx, reading, min_votes, quorum_diag, virtual))
+        return ready, cache.misses - misses_before
+
+    def _interpolate_sequential(
+        self,
+        prepared: list[tuple[int, TrackingReading, int | None, dict]],
+        outcomes: list[Outcome],
+        cache,
+    ) -> tuple[list, int]:
+        """Compatibility route: protocol caches without batched lookups
+        (or non-linear schemes behind a cache). ``get_or_compute`` is
+        called once per (reading, reader) in exactly the scalar call
+        sequence, so history-dependent cache behaviour is untouched.
+        """
+        est = self.estimator
+        ready = []
+        lookups = 0
+        for idx, reading, min_votes, quorum_diag in prepared:
+            try:
+                k = reading.n_readers
+                virtual = np.empty((k, *est.virtual_grid.shape))
+                for i in range(k):
+                    lattice = est.grid.lattice_from_flat(
+                        reading.reference_rssi[i]
+                    )
+                    if reading.masked:
+                        lattice = fill_masked_lattice(lattice)
+                    virtual[i] = cache.get_or_compute(
+                        lattice, est.virtual_grid, est._interpolator
+                    )
+                    lookups += 1
+                ready.append((idx, reading, min_votes, quorum_diag, virtual))
+            except ReproError as exc:
+                outcomes[idx] = exc
+        return ready, lookups
 
     def _estimate_group(
         self,
         group: list[tuple[int, TrackingReading, int | None, dict, np.ndarray]],
         outcomes: list[Outcome],
+        table: LatticeTable | None = None,
     ) -> None:
+        """Vectorize one uniform-K group of readings.
+
+        When ``table`` is given (grouped operator route), each entry's
+        fifth element is the reading's slot-index vector and the whole
+        group's ``(T, K, v_rows, v_cols)`` virtual tensor comes from one
+        :meth:`LatticeTable.gather`; otherwise entries carry materialized
+        per-reading tensors that are copied into the batch tensor.
+        """
         est = self.estimator
         config = est.config
         k = group[0][1].n_readers
@@ -248,20 +421,28 @@ class BatchEngine:
             return
         group, n_tags = valid, len(valid)
         needed_arr = np.asarray(needed, dtype=np.int64)
+        dtype = self._dtype
 
-        virtual = np.empty((n_tags, k, *shape))
-        tracking = np.empty((n_tags, k))
-        for t, entry in enumerate(group):
-            virtual[t] = entry[4]
-            tracking[t] = entry[1].tracking_rssi
-        dev = kernels.batch_rssi_deviations(virtual, tracking)
+        tracking = np.empty((n_tags, k), dtype=dtype)
+        if table is not None:
+            slot_matrix = np.empty((n_tags, k), dtype=np.intp)
+            for t, entry in enumerate(group):
+                slot_matrix[t] = entry[4]
+                tracking[t] = entry[1].tracking_rssi
+            virtual = table.gather(slot_matrix)
+        else:
+            virtual = np.empty((n_tags, k, *shape), dtype=dtype)
+            for t, entry in enumerate(group):
+                virtual[t] = entry[4]
+                tracking[t] = entry[1].tracking_rssi
+        dev = kernels.batch_rssi_deviations(virtual, tracking, dtype=dtype)
 
         # Thresholds (shared per tag). Infeasible tags (NaN from the
         # closed form) get the scalar path's ConfigurationError.
         live = np.ones(n_tags, dtype=bool)
         if config.threshold_mode == "adaptive":
             base = kernels.batch_minimal_feasible_threshold(
-                dev, min_cells=config.min_cells
+                dev, min_cells=config.min_cells, dtype=dtype
             )
             infeasible = np.isnan(base)
             for t in np.flatnonzero(infeasible):
@@ -275,9 +456,9 @@ class BatchEngine:
             if not live.all():
                 thresholds = np.where(live, thresholds, 0.0)
         else:
-            thresholds = np.full(n_tags, config.fixed_threshold_db)
+            thresholds = np.full(n_tags, config.fixed_threshold_db, dtype=dtype)
 
-        masks = kernels.batch_proximity_masks(dev, thresholds)
+        masks = kernels.batch_proximity_masks(dev, thresholds, dtype=dtype)
         selected = kernels.batch_eliminate(masks, needed_arr)
 
         # Empty intersections: the scalar fallback ladder, per tag.
@@ -312,7 +493,7 @@ class BatchEngine:
             else:  # "relax": minimal feasible threshold for those tags
                 relax = np.flatnonzero(empty)
                 relaxed = kernels.batch_minimal_feasible_threshold(
-                    dev[relax], min_cells=config.min_cells
+                    dev[relax], min_cells=config.min_cells, dtype=dtype
                 )
                 for j, t in enumerate(relax):
                     if np.isnan(relaxed[j]):  # pragma: no cover - guarded above
@@ -328,7 +509,7 @@ class BatchEngine:
                 still = np.flatnonzero(empty & live)
                 if still.size:
                     masks[still] = kernels.batch_proximity_masks(
-                        dev[still], thresholds[still]
+                        dev[still], thresholds[still], dtype=dtype
                     )
                     selected[still] = kernels.batch_eliminate(
                         masks[still], needed_arr[still]
@@ -343,9 +524,12 @@ class BatchEngine:
             selected,
             mode=config.w1_mode,
             virtual_rssi=virtual if config.w1_mode == "paper-literal" else None,
+            dtype=dtype,
         )
         w2 = (
-            kernels.batch_w2(selected, connectivity=config.connectivity)
+            kernels.batch_w2(
+                selected, connectivity=config.connectivity, dtype=dtype
+            )
             if config.use_w2
             else None
         )
@@ -361,7 +545,7 @@ class BatchEngine:
             if w2 is not None:
                 safe_w2 = w2.copy()
                 safe_w2[~live, 0, 0] = 1.0
-        weights = kernels.batch_combine_weights(safe_w1, safe_w2)
+        weights = kernels.batch_combine_weights(safe_w1, safe_w2, dtype=dtype)
         xy = kernels.batch_positions(weights, est._positions)
         areas = kernels.batch_map_areas(masks)
         n_selected = selected.reshape(n_tags, -1).sum(axis=1)
@@ -377,7 +561,7 @@ class BatchEngine:
                     "threshold_mode": config.threshold_mode,
                     "n_selected": int(n_selected[t]),
                     "selected_fraction": int(n_selected[t]) / lattice_cells,
-                    "map_areas": [int(a) for a in areas[t]],
+                    "map_areas": areas[t].tolist(),
                     "fallback": fallback[t],
                     "total_virtual_tags": est.virtual_grid.total_tags,
                     **quorum_diag,

@@ -45,6 +45,23 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 __all__ = ["InterpolationCache"]
 
 
+class _Pending:
+    """Placeholder occupying a cache slot until a batched compute lands.
+
+    Batched lookups (:meth:`InterpolationCache.get_or_compute_many`)
+    must reserve the entry at miss time so insertion order — and hence
+    the LRU eviction sequence — matches the scalar call sequence
+    exactly; the real surface replaces the placeholder in place once
+    the vectorized compute returns (value replacement does not move an
+    OrderedDict key).
+    """
+
+    __slots__ = ("uid",)
+
+    def __init__(self, uid: int) -> None:
+        self.uid = uid
+
+
 class InterpolationCache:
     """Bounded LRU cache mapping reference lattices to virtual surfaces.
 
@@ -128,6 +145,87 @@ class InterpolationCache:
             self._entries.popitem(last=False)
             self._evictions += 1
         return surface
+
+    def get_or_compute_many(
+        self,
+        segments,
+        virtual_grid: "VirtualGrid",
+        interpolator: "GridInterpolator",
+        *,
+        validate,
+        compute_many,
+    ) -> list:
+        """Batched :meth:`get_or_compute` with scalar-exact accounting.
+
+        ``segments`` is one list of lattices per reading, in reader
+        order. Returns one entry per segment: the list of surfaces, or
+        the error ``validate`` reported for the first failing lattice
+        (the segment's remaining lookups are then skipped, exactly as
+        the scalar loop stops that reading at the raise).
+
+        The lookup sequence — hit/miss counts, LRU touch order, the
+        eviction sequence, and which bucket a quantized key resolves to
+        — is bitwise identical to calling :meth:`get_or_compute` per
+        lattice in the same order. The only difference is *when* the
+        missing surfaces are computed: all unique misses go to
+        ``compute_many(lattices) -> surfaces`` in one call at the end,
+        with :class:`_Pending` placeholders holding their cache slots
+        (and their insertion order) in the interim.
+
+        ``validate(lattice)`` must return the exception the scalar
+        interpolation would raise for that lattice, or ``None``; it runs
+        at miss time, *after* the miss is counted and *before* any store
+        — matching the scalar path, where a failing interpolation counts
+        its miss but never populates the cache.
+        """
+        grid_token = self._grid_token(virtual_grid, interpolator)
+        unique: list[np.ndarray] = []
+        results: list = [None] * len(segments)
+        for s, lattices in enumerate(segments):
+            refs: list = []
+            error = None
+            for lattice in lattices:
+                key = (grid_token, lattice.shape, self._lattice_key(lattice))
+                cached = self._entries.get(key)
+                if cached is not None:
+                    self._hits += 1
+                    self._entries.move_to_end(key)
+                    refs.append(cached)
+                    continue
+                self._misses += 1
+                error = validate(lattice)
+                if error is not None:
+                    break
+                # Every miss gets its own compute slot — a repeated key
+                # can only miss again after its placeholder was evicted,
+                # and there the scalar path recomputes from the *new*
+                # lattice too (the distinction matters for quantized
+                # buckets, where the new lattice may differ).
+                uid = len(unique)
+                unique.append(lattice)
+                placeholder = _Pending(uid)
+                self._entries[key] = placeholder
+                if len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+                    self._evictions += 1
+                refs.append(placeholder)
+            results[s] = error if error is not None else refs
+        if unique:
+            resolved = []
+            for surface in compute_many(unique):
+                arr = np.asarray(surface, dtype=np.float64)
+                arr.setflags(write=False)
+                resolved.append(arr)
+            for key, value in self._entries.items():
+                if isinstance(value, _Pending):
+                    self._entries[key] = resolved[value.uid]
+            for s, refs in enumerate(results):
+                if isinstance(refs, list):
+                    results[s] = [
+                        resolved[r.uid] if isinstance(r, _Pending) else r
+                        for r in refs
+                    ]
+        return results
 
     # -- accounting ----------------------------------------------------------
 

@@ -57,7 +57,7 @@ from ..core.config import VIREConfig
 from ..core.estimator import VIREEstimator
 from ..core.quorum import QuorumPolicy
 from ..engine import EngineConfig
-from ..engine.batch import BatchLandmarc, Outcome
+from ..engine.batch import BatchEngine, BatchLandmarc, Outcome
 from ..engine.sharding import compute_shards
 from ..exceptions import (
     ConfigurationError,
@@ -309,6 +309,18 @@ class ServicePipeline:
         )
         self.fallback = LandmarcEstimator()
         self._batch_fallback = BatchLandmarc(self.fallback)
+        # The engine the micro-batcher routes through. Exact precision
+        # uses the estimator's own lazy engine (the grouped path); the
+        # relaxed tier substitutes the opt-in float32 engine behind the
+        # same seam (the LANDMARC fallback stays exact — ladder
+        # decisions must not move with the tier).
+        self._batch_vire = (
+            None
+            if self.config.engine.precision == "exact"
+            else BatchEngine(
+                self.vire, precision=self.config.engine.precision
+            )
+        )
         self.health = ReaderHealthTracker(
             list(middleware.reader_ids),
             policy=BreakerPolicy(
@@ -572,8 +584,13 @@ class ServicePipeline:
                     "service.vire_pass", n_requests=len(primary)
                 ):
                     t0 = self._perf_clock()
+                    vire_engine = (
+                        self.vire
+                        if self._batch_vire is None
+                        else self._batch_vire
+                    )
                     outs = self._sharded_outcomes(
-                        self.vire.estimate_outcomes,
+                        vire_engine.estimate_outcomes,
                         [readings[i] for i in primary],
                     )
                     vire_share = (self._perf_clock() - t0) / len(primary)

@@ -293,6 +293,16 @@ class LocalizationService:
             scenario = paper_scenario(scenario, n_trials=1)
         if resume and checkpoint_path is None:
             raise ConfigurationError("resume=True requires a checkpoint_path")
+        if checkpoint_path is not None and (
+            self.config.engine.precision != "exact"
+        ):
+            # Checkpoint resume replays the stream and verifies the
+            # reconstruction byte-exactly; only the bitwise tier can
+            # honour that witness.
+            raise ConfigurationError(
+                "checkpointed sessions require engine precision 'exact', "
+                f"got {self.config.engine.precision!r}"
+            )
         deployment = self.build_deployment(scenario)
         simulator = deployment.simulator
         pipeline = ServicePipeline(

@@ -103,6 +103,13 @@ class ZoneWorker:
             raise ConfigurationError("resume=True requires a checkpoint_path")
         self.spec = spec
         config = config or ServiceConfig()
+        if checkpoint_path is not None and config.engine.precision != "exact":
+            # Zone checkpoints carry a byte-exact recovery witness; the
+            # relaxed tier cannot produce one.
+            raise ConfigurationError(
+                "checkpointed zone workers require engine precision "
+                f"'exact', got {config.engine.precision!r}"
+            )
         if spec.vire is not None:
             config = config.with_(vire=spec.vire)
         self.config = config

@@ -62,6 +62,22 @@ def _hex(value: float) -> str:
     return float(value).hex()
 
 
+def require_exact_precision(config) -> None:
+    """Refuse to build byte-stable fixtures off a non-exact engine tier.
+
+    Golden fixtures pin IEEE-754 bit patterns; only the engine's
+    bitwise-exact tier can produce them. ``precision="relaxed"`` here is
+    always a mistake — fail loudly instead of pinning float32 bits.
+    """
+    from repro.exceptions import ConfigurationError
+
+    if config.engine.precision != "exact":
+        raise ConfigurationError(
+            "golden fixtures require engine precision 'exact', "
+            f"got {config.engine.precision!r}"
+        )
+
+
 def paper_estimator() -> VIREEstimator:
     scenario = paper_scenario(env3(), n_trials=1, base_seed=PAPER_SEED)
     return VIREEstimator(scenario.grid, VIREConfig(target_total_tags=900))
@@ -233,6 +249,7 @@ def run_chaos_session(tracer=None):
         breaker_recovery_timeout_s=8.0,
         vire=VIREConfig(subdivisions=5),
     )
+    require_exact_precision(config)
     plan = chaos_preset("moderate", seed=CHAOS_SEED)
     return _Service(config).run(
         _Scenario(), CHAOS_DURATION_S, fault_plan=plan, tracer=tracer
@@ -380,6 +397,7 @@ def build_report_capacity() -> dict:
     from repro.service import ServiceConfig
 
     config = ServiceConfig(vire=VIREConfig(subdivisions=5))
+    require_exact_precision(config)
     points = [
         run_load_test(profile, config=config).witness_document()
         for profile in loadtest_sweep_profiles()

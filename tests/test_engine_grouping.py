@@ -1,0 +1,320 @@
+"""Property tests of the grouped interpolation path (`repro.engine.grouping`).
+
+The grouped path's claims, each pinned by a hypothesis property:
+
+* **operator extraction is exact** — ``SparseBilinearOperator.apply``
+  is bit-for-bit ``BilinearInterpolator.interpolate`` per lattice, for
+  any finite lattice stack (compared as uint64 bit patterns), and its
+  explicit CSR form agrees numerically;
+* **content keys are collision-free by construction** — keys differ
+  whenever the lattice bytes differ (including NaN payloads and the
+  ±0.0 sign bit) or the masked flag differs, so two readings with
+  different lattice structure can never be merged;
+* **grouping is invisible** — batch outcomes are invariant (bitwise)
+  under permutation of the batch, and a singleton batch equals the
+  scalar call, so no observable behaviour depends on which readings
+  happened to share a sub-batch;
+* **the block dedup equals the dict dedup** — ``LatticeTable.from_block``
+  partitions rows into exactly the byte-equality classes the
+  per-reading dict loop produces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro import VIREConfig, VIREEstimator, paper_testbed_grid
+from repro.core.interpolation import (
+    BilinearInterpolator,
+    SparseBilinearOperator,
+)
+from repro.core.virtual_grid import VirtualGrid
+from repro.engine import BatchEngine
+from repro.engine.grouping import (
+    LatticeTable,
+    lattice_content_key,
+    operator_for,
+    reading_content_key,
+)
+
+from .test_engine_properties import (
+    assert_outcomes_identical,
+    batch_strategy,
+    config_strategy,
+    scalar_outcomes,
+)
+
+GRID = paper_testbed_grid()
+
+lattice_values = st.floats(-120.0, 0.0, allow_nan=False, allow_infinity=False)
+
+
+def virtual_grid_strategy():
+    return st.integers(2, 7).map(lambda s: VirtualGrid(GRID, subdivisions=s))
+
+
+# -- operator extraction ------------------------------------------------------
+
+
+class TestSparseOperatorBitwise:
+    @given(
+        virtual_grid_strategy(),
+        st.integers(1, 6),
+        st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_apply_equals_scalar_interpolate_bitwise(self, vgrid, m, seed):
+        rng = np.random.default_rng(seed)
+        stack = rng.uniform(-120.0, 0.0, size=(m, GRID.rows, GRID.cols))
+        op = SparseBilinearOperator(vgrid)
+        scalar = BilinearInterpolator()
+        batch = op.apply(stack)
+        for i in range(m):
+            expected = scalar.interpolate(stack[i], vgrid)
+            assert (
+                batch[i].view(np.uint64) == expected.view(np.uint64)
+            ).all(), "operator diverged from the scalar interpolator"
+
+    @given(virtual_grid_strategy(), st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_csr_form_agrees(self, vgrid, seed):
+        rng = np.random.default_rng(seed)
+        lattice = rng.uniform(-120.0, 0.0, size=(GRID.rows, GRID.cols))
+        op = SparseBilinearOperator(vgrid)
+        matrix = op.to_scipy_csr()
+        assert matrix.shape == (
+            vgrid.shape[0] * vgrid.shape[1],
+            GRID.rows * GRID.cols,
+        )
+        via_matrix = (matrix @ lattice.ravel()).reshape(vgrid.shape)
+        np.testing.assert_allclose(
+            via_matrix, op.apply(lattice[np.newaxis])[0], rtol=1e-12
+        )
+        # Convexity: each row's four corner weights sum to one.
+        np.testing.assert_allclose(
+            np.asarray(matrix.sum(axis=1)).ravel(), 1.0, rtol=1e-12
+        )
+
+    def test_operator_for_only_linear(self):
+        linear = VIREEstimator(GRID, VIREConfig())
+        assert isinstance(operator_for(linear), SparseBilinearOperator)
+        spline = VIREEstimator(GRID, VIREConfig(interpolation="spline"))
+        assert operator_for(spline) is None
+
+
+# -- content keys -------------------------------------------------------------
+
+
+class TestContentKeys:
+    @given(
+        arrays(np.float64, 16, elements=lattice_values),
+        arrays(np.float64, 16, elements=lattice_values),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_keys_differ_unless_bytes_equal(self, a, b):
+        same_bytes = a.tobytes() == b.tobytes()
+        assert (
+            lattice_content_key(a, False) == lattice_content_key(b, False)
+        ) == same_bytes
+
+    def test_masked_flag_always_keys_apart(self):
+        row = np.linspace(-90.0, -50.0, 16)
+        assert lattice_content_key(row, True) != lattice_content_key(row, False)
+
+    def test_nan_payloads_and_zero_signs_stay_distinct(self):
+        base = np.zeros(16)
+        neg = base.copy()
+        neg[3] = -0.0
+        assert lattice_content_key(base, False) != lattice_content_key(
+            neg, False
+        )
+        nan1, nan2 = base.copy(), base.copy()
+        nan1[0] = np.nan
+        nan2[0] = np.uint64(0x7FF8000000000001).view(np.float64)
+        assert lattice_content_key(nan1, False) != lattice_content_key(
+            nan2, False
+        )
+
+    @given(batch_strategy(min_size=2, max_size=5))
+    @settings(max_examples=30, deadline=None)
+    def test_reading_key_equality_implies_identical_outcomes(self, readings):
+        est = VIREEstimator(GRID, VIREConfig(subdivisions=4))
+        outcomes = BatchEngine(est).estimate_outcomes(readings)
+        for i, a in enumerate(readings):
+            for j, b in enumerate(readings):
+                if reading_content_key(a) == reading_content_key(b) and (
+                    a.tracking_rssi.tobytes() == b.tracking_rssi.tobytes()
+                ):
+                    assert_outcomes_identical([outcomes[i]], [outcomes[j]])
+
+
+# -- grouping invisibility ----------------------------------------------------
+
+
+class TestGroupingInvisible:
+    @given(batch_strategy(max_size=6), config_strategy, st.randoms())
+    @settings(max_examples=40, deadline=None)
+    def test_batch_order_permutation_invariance(self, readings, config, rnd):
+        est = VIREEstimator(GRID, config)
+        engine = BatchEngine(est)
+        baseline = engine.estimate_outcomes(readings)
+        order = list(range(len(readings)))
+        rnd.shuffle(order)
+        permuted = engine.estimate_outcomes([readings[i] for i in order])
+        assert_outcomes_identical([baseline[i] for i in order], permuted)
+
+    @given(batch_strategy(min_size=1, max_size=1), config_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_singleton_batch_equals_scalar(self, readings, config):
+        est = VIREEstimator(GRID, config)
+        scalar = scalar_outcomes(est, readings)
+        batch = BatchEngine(est).estimate_outcomes(readings)
+        assert_outcomes_identical(scalar, batch)
+
+    @given(batch_strategy(max_size=4, masked=True), config_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_masked_batches_identical_too(self, readings, config):
+        est = VIREEstimator(GRID, config)
+        scalar = scalar_outcomes(est, readings)
+        batch = BatchEngine(est).estimate_outcomes(readings)
+        assert_outcomes_identical(scalar, batch)
+
+
+# -- block dedup vs dict dedup ------------------------------------------------
+
+
+class TestBlockDedup:
+    @given(
+        st.lists(
+            arrays(np.float64, (3, 16), elements=lattice_values),
+            min_size=1,
+            max_size=6,
+        ),
+        st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_from_block_partitions_like_the_dict_loop(self, refs, seed):
+        from .test_engine_differential import _reading
+
+        rng = np.random.default_rng(seed)
+        # Force some cross-reading sharing: duplicate a few rows.
+        pool = np.concatenate(refs, axis=0)
+        for ref in refs:
+            if rng.random() < 0.5:
+                ref[rng.integers(ref.shape[0])] = pool[
+                    rng.integers(pool.shape[0])
+                ]
+        readings = [
+            _reading(ref, rng.uniform(-90.0, -50.0, ref.shape[0]))
+            for ref in refs
+        ]
+        est = VIREEstimator(GRID, VIREConfig(subdivisions=4))
+
+        blk = LatticeTable.from_block(est, readings)
+        assert blk is not None, "plain float64 readings must take the block path"
+        table, slot_arrays = blk
+
+        dict_table = LatticeTable(est)
+        dict_slots = [dict_table.slots_for(r) for r in readings]
+
+        # Same number of byte-equality classes, and the same partition:
+        # two rows share a block slot iff they share a dict slot.
+        assert len(table) == len(dict_table)
+        flat_block = np.concatenate(slot_arrays)
+        flat_dict = np.concatenate(dict_slots)
+        for i in range(len(flat_block)):
+            same_block = flat_block == flat_block[i]
+            same_dict = flat_dict == flat_dict[i]
+            assert (same_block == same_dict).all()
+
+    def test_masked_readings_refuse_the_block_path(self):
+        from .test_engine_differential import nan_masked_batch
+
+        est = VIREEstimator(GRID, VIREConfig(subdivisions=4))
+        assert LatticeTable.from_block(est, nan_masked_batch(3, 2)) is None
+
+    def test_non_float64_refuses_the_block_path(self):
+        from .test_engine_differential import _reading
+
+        est = VIREEstimator(GRID, VIREConfig(subdivisions=4))
+        reading = _reading(
+            np.full((4, 16), -60.0), np.full(4, -55.0)
+        )
+        object.__setattr__(
+            reading, "reference_rssi", reading.reference_rssi.astype(np.float32)
+        )
+        assert LatticeTable.from_block(est, [reading]) is None
+
+
+# -- non-finite lattices through the grouped routes ---------------------------
+
+
+class TestNonFiniteLattices:
+    """`TrackingReading` validates unmasked refs at construction, so a
+    non-finite lattice can only reach the grouped interpolate through a
+    bypass-constructed reading — exactly what a future reading type with
+    laxer validation would look like. Both dedup routes must then record
+    the scalar path's exact `ConfigurationError`, per reading, without
+    poisoning the rest of the batch."""
+
+    @staticmethod
+    def _bad_reading():
+        from .test_engine_differential import _reading
+
+        reading = _reading(np.full((4, 16), -60.0), np.full(4, -55.0))
+        ref = reading.reference_rssi.copy()
+        ref[1, 5] = np.nan
+        object.__setattr__(reading, "reference_rssi", ref)
+        return reading
+
+    @staticmethod
+    def _good_reading(level: float):
+        from .test_engine_differential import _reading
+
+        return _reading(np.full((4, 16), level), np.full(4, level + 4.0))
+
+    def test_block_route_matches_scalar(self):
+        from repro.exceptions import ConfigurationError
+
+        est = VIREEstimator(GRID, VIREConfig(subdivisions=4))
+        readings = [self._good_reading(-58.0), self._bad_reading()]
+        assert LatticeTable.from_block(est, readings) is not None
+        scalar = scalar_outcomes(est, readings)
+        batch = BatchEngine(est).estimate_outcomes(readings)
+        assert_outcomes_identical(scalar, batch)
+        assert isinstance(batch[1], ConfigurationError)
+
+    def test_dict_route_matches_scalar(self):
+        from repro.exceptions import ConfigurationError
+
+        from .test_engine_differential import nan_masked_batch
+
+        est = VIREEstimator(GRID, VIREConfig(subdivisions=4))
+        # The masked reading forces from_block to refuse, so the bad
+        # lattice takes the per-reading dict loop's plain fast path.
+        readings = [
+            nan_masked_batch(0, 1)[0],
+            self._bad_reading(),
+            self._good_reading(-62.0),
+        ]
+        assert LatticeTable.from_block(est, readings) is None
+        scalar = scalar_outcomes(est, readings)
+        batch = BatchEngine(est).estimate_outcomes(readings)
+        assert_outcomes_identical(scalar, batch)
+        assert isinstance(batch[1], ConfigurationError)
+
+    def test_all_errored_batch_matches_scalar(self):
+        from .test_engine_differential import _reading
+
+        est = VIREEstimator(GRID, VIREConfig(subdivisions=4))
+        all_dark = _reading(
+            np.full((4, 16), np.nan), np.full(4, -55.0), masked=True
+        )
+        readings = [all_dark, all_dark]
+        scalar = scalar_outcomes(est, readings)
+        batch = BatchEngine(est).estimate_outcomes(readings)
+        assert_outcomes_identical(scalar, batch)
